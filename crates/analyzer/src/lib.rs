@@ -1,0 +1,23 @@
+//! The simulated PCIe protocol analyzer.
+//!
+//! The paper's measurement substrate for everything the CPU timer cannot
+//! see is a Lecroy Summit analyzer sitting "just before the NIC" on node 1
+//! (Figure 3): a *passive* instrument that timestamps every TLP and DLLP
+//! without altering traffic. This crate is its simulation counterpart: it
+//! implements [`bband_pcie::LinkTap`], records a trace, and provides the
+//! paper's four trace-analysis methods:
+//!
+//! * **injection overhead** — deltas between consecutive downstream 64-byte
+//!   MWr arrivals (§4.2, Figures 6–7);
+//! * **PCIe one-way latency** — half the round trip between a NIC-initiated
+//!   MWr and its ACK DLLP from the RC (§4.3, "Measuring PCIe");
+//! * **Network latency** — half the gap between an outgoing ping's PIO
+//!   arrival and the upstream CQE write its ACK triggers (§4.3, "Measuring
+//!   Network");
+//! * **pong-ping delta** — the gap between an inbound pong's payload write
+//!   and the next outbound ping, from which `RC-to-MEM(xB)` is solved
+//!   (§4.3, Figure 9).
+
+pub mod trace;
+
+pub use trace::{PcieAnalyzer, TraceEvent, TraceRecord};

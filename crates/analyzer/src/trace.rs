@@ -1,0 +1,463 @@
+//! Trace capture and analysis.
+
+use bband_pcie::{Dllp, LinkDirection, LinkTap, Tlp, TlpId, TlpPurpose};
+use bband_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What crossed the tap point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    Tlp(Tlp),
+    Dllp(Dllp),
+}
+
+/// One line of the capture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Analyzer timestamp: arrival at the NIC for downstream traffic,
+    /// departure from the NIC for upstream traffic.
+    pub at: SimTime,
+    pub dir: LinkDirection,
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// The TLP if this record is one.
+    pub fn tlp(&self) -> Option<&Tlp> {
+        match &self.event {
+            TraceEvent::Tlp(t) => Some(t),
+            TraceEvent::Dllp(_) => None,
+        }
+    }
+
+    /// Render one line in the style of the paper's Figure 6 trace listing.
+    pub fn render(&self) -> String {
+        let dir = match self.dir {
+            LinkDirection::Downstream => "Down",
+            LinkDirection::Upstream => "Up  ",
+        };
+        match &self.event {
+            TraceEvent::Tlp(t) => format!(
+                "{:>14.3} ns  {dir}  {:?}  purpose={:?}  payload={:>5} B",
+                self.at.as_ns_f64(),
+                t.kind,
+                t.purpose,
+                t.payload
+            ),
+            TraceEvent::Dllp(d) => format!(
+                "{:>14.3} ns  {dir}  DLLP  {d:?}",
+                self.at.as_ns_f64()
+            ),
+        }
+    }
+}
+
+/// The passive analyzer. Implements [`LinkTap`]; attach it to the cluster's
+/// tap node and read the capture afterwards.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct PcieAnalyzer {
+    records: Vec<TraceRecord>,
+    /// When set, DLLPs are not captured (smaller traces for long runs).
+    pub capture_dllps: bool,
+}
+
+impl PcieAnalyzer {
+    /// Analyzer capturing TLPs and DLLPs.
+    pub fn new() -> Self {
+        PcieAnalyzer {
+            records: Vec::new(),
+            capture_dllps: true,
+        }
+    }
+
+    /// Analyzer capturing TLPs only.
+    pub fn tlps_only() -> Self {
+        PcieAnalyzer {
+            records: Vec::new(),
+            capture_dllps: false,
+        }
+    }
+
+    /// The full capture in arrival order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of captured records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drop the capture (start a fresh measurement window).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Filters
+    // ------------------------------------------------------------------
+
+    /// Downstream TLPs of a given purpose, in order. `None` matches all
+    /// purposes (the paper's Figure 6 filter is "downstream transactions").
+    pub fn downstream_tlps(&self, purpose: Option<TlpPurpose>) -> Vec<&TraceRecord> {
+        self.filter_tlps(LinkDirection::Downstream, purpose)
+    }
+
+    /// Upstream TLPs of a given purpose, in order.
+    pub fn upstream_tlps(&self, purpose: Option<TlpPurpose>) -> Vec<&TraceRecord> {
+        self.filter_tlps(LinkDirection::Upstream, purpose)
+    }
+
+    fn filter_tlps(&self, dir: LinkDirection, purpose: Option<TlpPurpose>) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.dir == dir)
+            .filter(|r| match (r.tlp(), purpose) {
+                (Some(t), Some(p)) => t.purpose == p,
+                (Some(_), None) => true,
+                (None, _) => false,
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // The paper's trace-analysis methods
+    // ------------------------------------------------------------------
+
+    /// §4.2: observed injection overhead — timestamp deltas between
+    /// consecutive downstream PIO-chunk arrivals at the NIC.
+    pub fn injection_deltas(&self) -> Vec<SimDuration> {
+        let arrivals = self.downstream_tlps(Some(TlpPurpose::PioChunk));
+        arrivals
+            .windows(2)
+            .map(|w| w[1].at.since(w[0].at))
+            .collect()
+    }
+
+    /// §4.3 "Measuring PCIe": for each upstream MWr initiated by the NIC,
+    /// find the RC's ACK DLLP covering it; half the gap is the one-way
+    /// PCIe latency. Returns one sample per matched pair.
+    pub fn pcie_one_way_samples(&self) -> Vec<SimDuration> {
+        let mut out = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            let Some(tlp) = r.tlp() else { continue };
+            if r.dir != LinkDirection::Upstream || !tlp.is_posted() {
+                continue;
+            }
+            let id = tlp.id;
+            // Find the first downstream ACK DLLP at or after this record
+            // covering `id`.
+            for later in &self.records[i + 1..] {
+                if later.dir != LinkDirection::Downstream {
+                    continue;
+                }
+                if let TraceEvent::Dllp(Dllp::Ack { up_to }) = later.event {
+                    if up_to == id {
+                        out.push(later.at.since(r.at) / 2);
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// §4.3 "Measuring Network": in a ping-pong run, the gap between a
+    /// downstream PIO arrival (ping out) and the next upstream CQE write
+    /// (generated on ACK reception) is two network traversals. Returns
+    /// half-gap samples.
+    pub fn network_one_way_samples(&self) -> Vec<SimDuration> {
+        let mut out = Vec::new();
+        let mut pending_ping: Option<SimTime> = None;
+        for r in &self.records {
+            let Some(tlp) = r.tlp() else { continue };
+            match (r.dir, tlp.purpose) {
+                (LinkDirection::Downstream, TlpPurpose::PioChunk) => {
+                    pending_ping = Some(r.at);
+                }
+                (LinkDirection::Upstream, TlpPurpose::CqeWrite) => {
+                    if let Some(ping) = pending_ping.take() {
+                        out.push(r.at.since(ping) / 2);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// §4.3 Figure 9: gaps between an inbound pong's payload DMA-write
+    /// (upstream) and the next outbound ping (downstream PIO). Each gap
+    /// equals `RC-to-MEM(xB) + 2·PCIe + LLP_prog + LLP_post`; the caller
+    /// solves for `RC-to-MEM` with the other components known.
+    pub fn pong_to_ping_deltas(&self) -> Vec<SimDuration> {
+        let mut out = Vec::new();
+        let mut pending_pong: Option<SimTime> = None;
+        for r in &self.records {
+            let Some(tlp) = r.tlp() else { continue };
+            match (r.dir, tlp.purpose) {
+                (LinkDirection::Upstream, TlpPurpose::PayloadDeliver) => {
+                    pending_pong = Some(r.at);
+                }
+                (LinkDirection::Downstream, TlpPurpose::PioChunk) => {
+                    if let Some(pong) = pending_pong.take() {
+                        out.push(r.at.since(pong));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Render the first `n` records as a Figure 6-style listing.
+    pub fn render_head(&self, n: usize) -> String {
+        let mut s = String::new();
+        for r in self.records.iter().take(n) {
+            s.push_str(&r.render());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl LinkTap for PcieAnalyzer {
+    fn on_tlp(&mut self, at: SimTime, dir: LinkDirection, tlp: &Tlp) {
+        self.records.push(TraceRecord {
+            at,
+            dir,
+            event: TraceEvent::Tlp(*tlp),
+        });
+    }
+
+    fn on_dllp(&mut self, at: SimTime, dir: LinkDirection, dllp: &Dllp) {
+        if self.capture_dllps {
+            self.records.push(TraceRecord {
+                at,
+                dir,
+                event: TraceEvent::Dllp(*dllp),
+            });
+        }
+    }
+}
+
+/// Build a synthetic record (test helper, public for downstream crates'
+/// tests).
+pub fn record_tlp(at_ns: f64, dir: LinkDirection, tlp: Tlp) -> TraceRecord {
+    TraceRecord {
+        at: SimTime::from_ps((at_ns * 1000.0).round() as u64),
+        dir,
+        event: TraceEvent::Tlp(tlp),
+    }
+}
+
+/// Synthetic DLLP record (test helper).
+pub fn record_dllp(at_ns: f64, dir: LinkDirection, dllp: Dllp) -> TraceRecord {
+    TraceRecord {
+        at: SimTime::from_ps((at_ns * 1000.0).round() as u64),
+        dir,
+        event: TraceEvent::Dllp(dllp),
+    }
+}
+
+/// Allow tests to splice synthetic records.
+impl Extend<TraceRecord> for PcieAnalyzer {
+    fn extend<T: IntoIterator<Item = TraceRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[allow(unused_imports)]
+use TlpId as _TlpIdForDocs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bband_pcie::TlpId;
+
+    #[test]
+    fn injection_deltas_from_downstream_pio() {
+        let mut a = PcieAnalyzer::new();
+        for (i, t) in [100.0, 382.33, 660.0, 950.0].iter().enumerate() {
+            a.extend([record_tlp(
+                *t,
+                LinkDirection::Downstream,
+                Tlp::pio_chunk(TlpId(i as u64)),
+            )]);
+        }
+        let deltas = a.injection_deltas();
+        assert_eq!(deltas.len(), 3);
+        assert!((deltas[0].as_ns_f64() - 282.33).abs() < 1e-6);
+    }
+
+    #[test]
+    fn injection_deltas_ignore_other_traffic() {
+        let mut a = PcieAnalyzer::new();
+        a.extend([
+            record_tlp(10.0, LinkDirection::Downstream, Tlp::pio_chunk(TlpId(0))),
+            record_tlp(50.0, LinkDirection::Upstream, Tlp::cqe_write(TlpId(1))),
+            record_dllp(60.0, LinkDirection::Downstream, Dllp::Ack { up_to: TlpId(1) }),
+            record_tlp(300.0, LinkDirection::Downstream, Tlp::pio_chunk(TlpId(2))),
+        ]);
+        let deltas = a.injection_deltas();
+        assert_eq!(deltas.len(), 1);
+        assert!((deltas[0].as_ns_f64() - 290.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pcie_one_way_matches_ack_pairs() {
+        let mut a = PcieAnalyzer::new();
+        let cqe = Tlp::cqe_write(TlpId(9));
+        a.extend([
+            record_tlp(1000.0, LinkDirection::Upstream, cqe),
+            record_dllp(
+                1000.0 + 2.0 * 137.49,
+                LinkDirection::Downstream,
+                Dllp::Ack { up_to: TlpId(9) },
+            ),
+        ]);
+        let samples = a.pcie_one_way_samples();
+        assert_eq!(samples.len(), 1);
+        assert!((samples[0].as_ns_f64() - 137.49).abs() < 0.001);
+    }
+
+    #[test]
+    fn pcie_samples_skip_unmatched_acks() {
+        let mut a = PcieAnalyzer::new();
+        a.extend([
+            record_tlp(0.0, LinkDirection::Upstream, Tlp::cqe_write(TlpId(1))),
+            // ACK for a different TLP: must not match.
+            record_dllp(100.0, LinkDirection::Downstream, Dllp::Ack { up_to: TlpId(2) }),
+        ]);
+        assert!(a.pcie_one_way_samples().is_empty());
+    }
+
+    #[test]
+    fn network_one_way_from_ping_cqe_gap() {
+        let mut a = PcieAnalyzer::new();
+        a.extend([
+            record_tlp(0.0, LinkDirection::Downstream, Tlp::pio_chunk(TlpId(0))),
+            record_tlp(
+                2.0 * 382.81,
+                LinkDirection::Upstream,
+                Tlp::cqe_write(TlpId(1)),
+            ),
+        ]);
+        let samples = a.network_one_way_samples();
+        assert_eq!(samples.len(), 1);
+        assert!((samples[0].as_ns_f64() - 382.81).abs() < 0.001);
+    }
+
+    #[test]
+    fn pong_ping_delta_extraction() {
+        let mut a = PcieAnalyzer::new();
+        // pong payload write upstream at t=0; next ping PIO at t=716.36
+        // (= 240.96 + 2*137.49 + 61.63 + 175.42 - roughly, per Figure 9).
+        a.extend([
+            record_tlp(
+                0.0,
+                LinkDirection::Upstream,
+                Tlp::payload_deliver(TlpId(0), 8),
+            ),
+            record_tlp(716.36, LinkDirection::Downstream, Tlp::pio_chunk(TlpId(1))),
+        ]);
+        let deltas = a.pong_to_ping_deltas();
+        assert_eq!(deltas.len(), 1);
+        assert!((deltas[0].as_ns_f64() - 716.36).abs() < 0.001);
+    }
+
+    #[test]
+    fn dllp_capture_can_be_disabled() {
+        let mut a = PcieAnalyzer::tlps_only();
+        a.on_dllp(
+            SimTime::from_ns(1),
+            LinkDirection::Downstream,
+            &Dllp::Ack { up_to: TlpId(0) },
+        );
+        assert!(a.is_empty());
+        a.on_tlp(
+            SimTime::from_ns(2),
+            LinkDirection::Downstream,
+            &Tlp::pio_chunk(TlpId(0)),
+        );
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn render_produces_figure6_style_lines() {
+        let mut a = PcieAnalyzer::new();
+        a.extend([record_tlp(
+            123.456,
+            LinkDirection::Downstream,
+            Tlp::pio_chunk(TlpId(0)),
+        )]);
+        let out = a.render_head(10);
+        assert!(out.contains("Down"), "direction column: {out}");
+        assert!(out.contains("64"), "payload column: {out}");
+        assert!(out.contains("123.456"), "timestamp column: {out}");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_trace() {
+        let mut a = PcieAnalyzer::new();
+        a.extend([
+            record_tlp(1.5, LinkDirection::Downstream, Tlp::pio_chunk(TlpId(0))),
+            record_dllp(3.25, LinkDirection::Upstream, Dllp::Ack { up_to: TlpId(0) }),
+            record_tlp(9.0, LinkDirection::Upstream, Tlp::cqe_write(TlpId(1))),
+        ]);
+        let json = serde_json::to_string(&a).expect("serializes");
+        let back: PcieAnalyzer = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.records(), a.records());
+    }
+
+    #[test]
+    fn render_head_truncates() {
+        let mut a = PcieAnalyzer::new();
+        for i in 0..20u64 {
+            a.extend([record_tlp(
+                i as f64,
+                LinkDirection::Downstream,
+                Tlp::pio_chunk(TlpId(i)),
+            )]);
+        }
+        assert_eq!(a.render_head(5).lines().count(), 5);
+        assert_eq!(a.render_head(100).lines().count(), 20);
+    }
+
+    #[test]
+    fn filters_by_purpose_are_exclusive() {
+        let mut a = PcieAnalyzer::new();
+        a.extend([
+            record_tlp(1.0, LinkDirection::Downstream, Tlp::pio_chunk(TlpId(0))),
+            record_tlp(2.0, LinkDirection::Downstream, Tlp::doorbell(TlpId(1))),
+            record_tlp(3.0, LinkDirection::Upstream, Tlp::cqe_write(TlpId(2))),
+        ]);
+        assert_eq!(a.downstream_tlps(Some(TlpPurpose::PioChunk)).len(), 1);
+        assert_eq!(a.downstream_tlps(Some(TlpPurpose::Doorbell)).len(), 1);
+        assert_eq!(a.downstream_tlps(None).len(), 2);
+        assert_eq!(a.upstream_tlps(Some(TlpPurpose::CqeWrite)).len(), 1);
+        assert_eq!(a.upstream_tlps(Some(TlpPurpose::PioChunk)).len(), 0);
+    }
+
+    #[test]
+    fn empty_trace_analyses_are_empty() {
+        let a = PcieAnalyzer::new();
+        assert!(a.injection_deltas().is_empty());
+        assert!(a.pcie_one_way_samples().is_empty());
+        assert!(a.network_one_way_samples().is_empty());
+        assert!(a.pong_to_ping_deltas().is_empty());
+    }
+
+    #[test]
+    fn clear_resets_capture() {
+        let mut a = PcieAnalyzer::new();
+        a.extend([record_tlp(1.0, LinkDirection::Downstream, Tlp::pio_chunk(TlpId(0)))]);
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

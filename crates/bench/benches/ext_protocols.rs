@@ -1,0 +1,66 @@
+//! Extension benchmarks: the protocol and scaling machinery beyond the
+//! paper's 8-byte experiments — eager-vs-rendezvous, message-size scaling,
+//! multi-core injection, and the alternative system profiles.
+
+use bband_core::profiles;
+use bband_core::{Calibration, EndToEndLatencyModel, ScalingModel};
+use bband_microbench::{
+    multicore_injection, ucp_latency, MulticoreConfig, StackConfig, UcpLatConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Correctness gates + printed artifacts.
+    let m = ScalingModel::new(Calibration::default());
+    println!("network-majority crossover: {:?} bytes", m.crossover_size(0.5));
+    for profile in [
+        ("baseline", Calibration::default()),
+        ("integrated NIC SoC", profiles::integrated_nic_soc()),
+        ("fast device memory", profiles::fast_device_memory()),
+        ("GenZ switch", profiles::genz_switch()),
+        ("PAM4 + FEC", profiles::pam4_fec_interconnect()),
+    ] {
+        let e2e = EndToEndLatencyModel::from_calibration(&profile.1).total();
+        println!("profile {:<22} end-to-end latency {e2e}", profile.0);
+    }
+
+    c.bench_function("ext/ucp_latency_rndv_64k", |b| {
+        b.iter(|| {
+            black_box(ucp_latency(&UcpLatConfig {
+                stack: StackConfig::validation(),
+                payload: 64 * 1024,
+                rndv_threshold: 0,
+                iterations: 20,
+                warmup: 2,
+            }))
+        })
+    });
+
+    c.bench_function("ext/multicore_injection_8_cores", |b| {
+        b.iter(|| {
+            black_box(multicore_injection(&MulticoreConfig {
+                stack: StackConfig::validation(),
+                cores: 8,
+                messages_per_core: 200,
+                ring_depth: 16,
+            }))
+        })
+    });
+
+    c.bench_function("ext/scaling_model_sweep", |b| {
+        let m = ScalingModel::new(Calibration::default());
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut x = 8u32;
+            while x <= 1 << 20 {
+                acc += m.latency_ns(black_box(x));
+                x *= 2;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 4: regenerates the LLP_post phase breakdown and benchmarks the
+//! simulated `uct_ep_put_short` fast path.
+
+use bband_bench::fig4;
+use bband_fabric::NodeId;
+use bband_llp::{LlpCosts, Worker};
+use bband_microbench::StackConfig;
+use bband_nic::{Opcode, QpId};
+use bband_pcie::NullTap;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = fig4();
+    assert!(out.contains("PIO copy"));
+    println!("{out}");
+
+    c.bench_function("fig4/simulated_llp_post", |b| {
+        let cfg = StackConfig::validation();
+        let mut cluster = cfg.build_cluster();
+        let mut w = Worker::new(NodeId(0), LlpCosts::default().deterministic(), 1);
+        w.set_ring_capacity(u32::MAX / 2);
+        let mut tap = NullTap;
+        b.iter(|| {
+            black_box(
+                w.post(&mut cluster, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap)
+                    .unwrap(),
+            );
+            // Keep memory bounded.
+            cluster.advance_to(w.now(), &mut tap);
+            while cluster.pop_cqe(NodeId(0), QpId(0)).is_some() {}
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figures 6 and 7: runs put_bw, prints the trace head and the injection
+//! overhead distribution, and benchmarks the full injection pipeline.
+
+use bband_bench::{fig6, fig7, Scale};
+use bband_microbench::{put_bw, PutBwConfig, StackConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig6(Scale::Quick));
+    let hist = fig7(Scale::Quick);
+    assert!(hist.contains("Mean:"));
+    println!("{hist}");
+
+    c.bench_function("fig7/put_bw_2000_messages", |b| {
+        b.iter(|| {
+            let cfg = PutBwConfig {
+                stack: StackConfig::default(),
+                messages: 2_000,
+                warmup: 256,
+                ..Default::default()
+            };
+            black_box(put_bw(&cfg).observed.summary())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 10 (and the §4.3 validation): regenerates the LLP latency
+//! breakdown and benchmarks the am_lat ping-pong.
+
+use bband_bench::{fig10, Scale};
+use bband_microbench::{am_lat, AmLatConfig, StackConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = fig10(Scale::Quick);
+    assert!(out.contains("Wire"));
+    println!("{out}");
+
+    c.bench_function("fig10/am_lat_200_iters", |b| {
+        b.iter(|| {
+            let cfg = AmLatConfig {
+                stack: StackConfig::default(),
+                iterations: 200,
+                warmup: 8,
+            };
+            black_box(am_lat(&cfg).observed.summary())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

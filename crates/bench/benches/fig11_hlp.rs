@@ -1,0 +1,41 @@
+//! Figures 11 and 14: the HLP splits, plus a benchmark of the simulated
+//! MPI_Isend fast path.
+
+use bband_bench::{fig11, fig14};
+use bband_fabric::NodeId;
+use bband_hlp::{UcpCosts, UcpWorker};
+use bband_microbench::StackConfig;
+use bband_mpi::{MpiCosts, MpiProcess};
+use bband_pcie::NullTap;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = fig11();
+    assert!(out.contains("MPICH") && out.contains("UCP"));
+    println!("{out}");
+    println!("{}", fig14());
+
+    c.bench_function("fig11/simulated_mpi_isend", |b| {
+        let cfg = StackConfig::validation();
+        let mut cluster = cfg.build_cluster();
+        let mut tap = NullTap;
+        let mut rank = MpiProcess::new(
+            UcpWorker::new(cfg.build_worker(0), UcpCosts::default()),
+            MpiCosts::default(),
+        );
+        rank.init(&mut cluster, &mut tap);
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            let req = rank.isend(&mut cluster, NodeId(1), 8, i & 0x7FFF, &mut tap);
+            black_box(req);
+            // Drain so the ring never fills.
+            let reqs = [req];
+            rank.waitall(&mut cluster, &reqs, &mut tap);
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

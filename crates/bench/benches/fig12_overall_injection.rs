@@ -1,0 +1,27 @@
+//! Figure 12 (Equation 2): overall injection breakdown and the OSU
+//! message-rate benchmark behind it.
+
+use bband_bench::fig12;
+use bband_microbench::{osu_message_rate, OsuMrConfig, StackConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = fig12();
+    assert!(out.contains("Post_prog"));
+    println!("{out}");
+
+    c.bench_function("fig12/osu_message_rate_10_windows", |b| {
+        b.iter(|| {
+            let cfg = OsuMrConfig {
+                stack: StackConfig::default(),
+                windows: 10,
+                ..Default::default()
+            };
+            black_box(osu_message_rate(&cfg).inj_overhead)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figures 13, 15, 16 (the end-to-end latency picture) and the OSU
+//! point-to-point latency benchmark behind them.
+
+use bband_bench::{fig13, fig15, fig16};
+use bband_microbench::{osu_latency, OsuLatConfig, StackConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = fig13();
+    assert!(out.contains("HLP_rx_prog"));
+    println!("{out}");
+    println!("{}", fig15());
+    println!("{}", fig16());
+
+    c.bench_function("fig13/osu_latency_200_iters", |b| {
+        b.iter(|| {
+            let cfg = OsuLatConfig {
+                stack: StackConfig::default(),
+                iterations: 200,
+                warmup: 8,
+            };
+            black_box(osu_latency(&cfg).observed.summary())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

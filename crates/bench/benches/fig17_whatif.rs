@@ -1,0 +1,29 @@
+//! Figure 17: the four what-if panels, §7's claims, and benchmarks of the
+//! analytical engine (dense sweep) and its simulation-backed cross-check.
+
+use bband_bench::{claims, fig17};
+use bband_core::{Calibration, WhatIf};
+use bband_llp::Phase;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for panel in ['a', 'b', 'c', 'd'] {
+        println!("{}", fig17(panel));
+    }
+    let cl = claims();
+    assert!(!cl.contains("FAIL"), "{cl}");
+    println!("{cl}");
+
+    c.bench_function("fig17/dense_sweep_parallel", |b| {
+        let w = WhatIf::new(Calibration::default());
+        b.iter(|| black_box(w.dense_sweep().len()))
+    });
+    c.bench_function("fig17/simulation_backed_pio_point", |b| {
+        let w = WhatIf::new(Calibration::default());
+        b.iter(|| black_box(w.simulate_injection_speedup(Phase::PioCopy, 0.5, 1_000)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

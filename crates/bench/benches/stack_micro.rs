@@ -1,0 +1,57 @@
+//! Microbenchmarks of the simulation substrate itself — the ablations
+//! DESIGN.md calls out: event-queue throughput, RNG/jitter sampling, and a
+//! full post-to-completion round through the assembled cluster.
+
+use bband_fabric::NodeId;
+use bband_nic::{Cluster, Opcode, PostDescriptor, QpId, WrId};
+use bband_pcie::NullTap;
+use bband_sim::{EventQueue, Jitter, Pcg64, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("substrate/event_queue_push_pop", |b| {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            for i in 0..64u64 {
+                q.push(SimTime::from_ps(t + i * 7 % 640), i);
+            }
+            t += 640;
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        })
+    });
+
+    c.bench_function("substrate/pcg64_next", |b| {
+        let mut rng = Pcg64::new(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+
+    c.bench_function("substrate/lognormal_jitter_sample", |b| {
+        let mut rng = Pcg64::new(2);
+        let base = SimDuration::from_ns_f64(175.42);
+        let j = Jitter::cpu_default();
+        b.iter(|| black_box(j.sample(base, &mut rng)))
+    });
+
+    c.bench_function("substrate/cluster_post_to_completion", |b| {
+        let mut cluster = Cluster::two_node_paper(3).deterministic();
+        let mut tap = NullTap;
+        let mut t = SimTime::from_ns(1);
+        let mut wr = 0u64;
+        b.iter(|| {
+            let desc =
+                PostDescriptor::pio_inline(WrId(wr), Opcode::RdmaWrite, NodeId(1), 8);
+            wr += 1;
+            cluster.post(t, NodeId(0), desc, &mut tap);
+            cluster.run_until_idle(&mut tap);
+            t = t + SimDuration::from_ns(3_000);
+            black_box(cluster.pop_cqe(NodeId(0), QpId(0)))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates Table 1 and benchmarks the calibration assembly.
+
+use bband_core::Calibration;
+use bband_report::render_table1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Correctness gate: the rendered table carries the paper's key rows.
+    let table = render_table1(&Calibration::default());
+    assert!(table.contains("175.42") && table.contains("240.96"));
+    println!("{table}");
+
+    c.bench_function("table1/calibration_assembly", |b| {
+        b.iter(|| black_box(Calibration::default().post()))
+    });
+    c.bench_function("table1/render", |b| {
+        let cal = Calibration::default();
+        b.iter(|| black_box(render_table1(&cal)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

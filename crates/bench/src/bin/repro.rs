@@ -1,0 +1,96 @@
+//! The reproduction harness: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <target>...        # table1 fig4 fig6 fig7 fig8 fig10..fig16
+//!                          # fig17a..fig17d claims validate
+//!                          # scaling crossover multicore profiles
+//! repro all                # everything, in paper order
+//! repro --quick all        # smaller runs (CI-friendly)
+//! repro --json DIR fig13   # also write machine-readable artifacts
+//! ```
+
+use bband_bench::{run_target, Scale, ALL_TARGETS};
+use bband_core::whatif::Component;
+use bband_core::{Calibration, EndToEndLatencyModel, InjectionModel, OverallInjectionModel, WhatIf};
+use bband_report::{breakdown_json, curves_json, to_json};
+use std::path::Path;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if let Some(pos) = args.iter().position(|a| a == "--quick") {
+        args.remove(pos);
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|pos| {
+            args.remove(pos);
+            if pos >= args.len() {
+                eprintln!("--json requires a directory argument");
+                std::process::exit(2);
+            }
+            args.remove(pos)
+        });
+    if args.is_empty() {
+        eprintln!("usage: repro [--quick] [--json DIR] <target>... | all");
+        eprintln!("targets: {}", ALL_TARGETS.join(" "));
+        std::process::exit(2);
+    }
+    let targets: Vec<&str> = if args.len() == 1 && args[0] == "all" {
+        ALL_TARGETS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for t in &targets {
+        println!("==== {t} ====");
+        println!("{}", run_target(t, scale));
+        if let Some(dir) = &json_dir {
+            if let Some(json) = json_artifact(t) {
+                std::fs::create_dir_all(dir).expect("create artifact dir");
+                let path = Path::new(dir).join(format!("{t}.json"));
+                std::fs::write(&path, json).expect("write artifact");
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+/// Machine-readable form of the analytical targets (those with a stable
+/// schema; trace/distribution targets export through the library API).
+fn json_artifact(target: &str) -> Option<String> {
+    let c = Calibration::default();
+    let w = WhatIf::new(c.clone());
+    let panel = |comps: &[Component], latency: bool, title: &str| {
+        let curves: Vec<_> = comps
+            .iter()
+            .map(|&comp| (comp, w.curve(comp, latency, &WhatIf::GRID)))
+            .collect();
+        to_json(&curves_json(title, &curves))
+    };
+    Some(match target {
+        "fig4" => to_json(&breakdown_json(&InjectionModel::llp_post_breakdown(&c))),
+        "fig8" => to_json(&breakdown_json(
+            &InjectionModel::from_calibration(&c).breakdown(),
+        )),
+        "fig12" => to_json(&breakdown_json(
+            &OverallInjectionModel::from_calibration(&c).breakdown(),
+        )),
+        "fig13" => to_json(&breakdown_json(
+            &EndToEndLatencyModel::from_calibration(&c).breakdown(),
+        )),
+        "fig15" => to_json(&breakdown_json(
+            &EndToEndLatencyModel::from_calibration(&c).category_breakdown(),
+        )),
+        "fig16" => to_json(&breakdown_json(
+            &EndToEndLatencyModel::from_calibration(&c).on_node_breakdown(),
+        )),
+        "fig17a" => panel(&Component::FIG17A, false, "fig17a"),
+        "fig17b" => panel(&Component::FIG17B, true, "fig17b"),
+        "fig17c" => panel(&Component::FIG17C, true, "fig17c"),
+        "fig17d" => panel(&Component::FIG17D, true, "fig17d"),
+        _ => return None,
+    })
+}

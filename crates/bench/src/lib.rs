@@ -1,0 +1,436 @@
+//! Shared plumbing for the `repro` harness binary and the Criterion
+//! benches: one function per table/figure of the paper, each returning the
+//! rendered text that regenerates it.
+
+use bband_core::latency::Category;
+use bband_core::validate::{validate_all, ValidationScale};
+use bband_core::whatif::Component;
+use bband_core::{hlp_breakdown, profiles};
+use bband_core::{
+    Breakdown, Calibration, EndToEndLatencyModel, InjectionModel, LlpLatencyModel,
+    OverallInjectionModel, ScalingModel, WhatIf,
+};
+use bband_microbench::{
+    am_lat, credit_exhaustion_onset, eager_rndv_sweep, put_bw, AmLatConfig, PutBwConfig,
+    StackConfig,
+};
+use bband_report::{render_bar, render_curves, render_histogram, render_table1};
+
+/// Experiment scale: quick (tests) or full (the harness default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    fn put_bw_messages(self) -> u64 {
+        match self {
+            Scale::Quick => 3_000,
+            Scale::Full => 20_000,
+        }
+    }
+}
+
+/// Table 1.
+pub fn table1() -> String {
+    render_table1(&Calibration::default())
+}
+
+/// Figure 4: LLP_post phase breakdown.
+pub fn fig4() -> String {
+    render_bar(&InjectionModel::llp_post_breakdown(&Calibration::default()))
+}
+
+/// Figure 6: PCIe trace snippet (downstream transactions of put_bw).
+pub fn fig6(scale: Scale) -> String {
+    let report = put_bw(&PutBwConfig {
+        stack: StackConfig::default(),
+        messages: scale.put_bw_messages().min(64),
+        warmup: 0,
+        ..Default::default()
+    });
+    let mut out = String::from(
+        "Figure 6: PCIe trace of downstream PCIe transactions (put_bw)\n",
+    );
+    let downstream = report.analyzer.downstream_tlps(None);
+    for rec in downstream.iter().take(12) {
+        out.push_str(&rec.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 7: distribution of the observed injection overhead.
+pub fn fig7(scale: Scale) -> String {
+    let report = put_bw(&PutBwConfig {
+        stack: StackConfig::default(),
+        messages: scale.put_bw_messages(),
+        ..Default::default()
+    });
+    render_histogram(
+        "Figure 7: observed injection overhead (put_bw, PCIe trace deltas)",
+        &report.observed,
+        0.0,
+        500.0,
+        25,
+    )
+}
+
+/// Figure 8: LLP-level injection breakdown.
+pub fn fig8() -> String {
+    render_bar(&InjectionModel::from_calibration(&Calibration::default()).breakdown())
+}
+
+/// Figure 10: LLP-level latency breakdown (plus the am_lat observation).
+pub fn fig10(scale: Scale) -> String {
+    let c = Calibration::default();
+    let model = LlpLatencyModel::from_calibration(&c);
+    let mut out = render_bar(&model.breakdown());
+    let obs = am_lat(&AmLatConfig {
+        stack: StackConfig::default(),
+        iterations: match scale {
+            Scale::Quick => 200,
+            Scale::Full => 1_000,
+        },
+        warmup: 16,
+    });
+    let corrected = obs.observed.summary().mean - 49.69 / 2.0;
+    out.push_str(&format!(
+        "  modeled total (incl. LLP_prog): {:.2} ns; observed (am_lat, corrected): {corrected:.2} ns\n",
+        model.total().as_ns_f64(),
+    ));
+    out
+}
+
+/// Figure 11: HLP split between MPICH and UCP.
+pub fn fig11() -> String {
+    let c = Calibration::default();
+    let mut out = render_bar(&hlp_breakdown::isend_split(&c));
+    out.push('\n');
+    out.push_str(&render_bar(&hlp_breakdown::rx_wait_split(&c)));
+    out
+}
+
+/// Figure 12: overall injection breakdown.
+pub fn fig12() -> String {
+    render_bar(&OverallInjectionModel::from_calibration(&Calibration::default()).breakdown())
+}
+
+/// Figure 13: end-to-end latency breakdown.
+pub fn fig13() -> String {
+    let model = EndToEndLatencyModel::from_calibration(&Calibration::default());
+    let b: Breakdown = model.breakdown();
+    let mut out = render_bar(&b);
+    out.push_str(&format!("  end-to-end total: {}\n", b.total()));
+    out
+}
+
+/// Figure 14: HLP vs LLP during initiation and progress.
+pub fn fig14() -> String {
+    let c = Calibration::default();
+    let mut out = String::new();
+    for b in [
+        hlp_breakdown::initiation_split(&c),
+        hlp_breakdown::tx_progress_split(&c),
+        hlp_breakdown::rx_progress_split(&c),
+    ] {
+        out.push_str(&render_bar(&b));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "  RX/TX progress ratio: {:.2}x (paper: 4.78x)\n",
+        hlp_breakdown::rx_to_tx_progress_ratio(&c)
+    ));
+    out
+}
+
+/// Figure 15: category breakdown of the end-to-end latency.
+pub fn fig15() -> String {
+    let model = EndToEndLatencyModel::from_calibration(&Calibration::default());
+    let mut out = render_bar(&model.category_breakdown());
+    for cat in [Category::Cpu, Category::Io, Category::Network] {
+        out.push('\n');
+        out.push_str(&render_bar(&model.category_sub_breakdown(cat)));
+    }
+    out
+}
+
+/// Figure 16: on-node time breakdown.
+pub fn fig16() -> String {
+    let model = EndToEndLatencyModel::from_calibration(&Calibration::default());
+    let mut out = render_bar(&model.on_node_breakdown());
+    for b in [
+        model.initiator_split(),
+        model.target_split(),
+        model.target_io_split(),
+    ] {
+        out.push('\n');
+        out.push_str(&render_bar(&b));
+    }
+    out
+}
+
+/// One panel of Figure 17.
+pub fn fig17(panel: char) -> String {
+    let w = WhatIf::new(Calibration::default());
+    let (title, comps, latency): (&str, &[Component], bool) = match panel {
+        'a' => (
+            "Figure 17a: injection speedup vs CPU-component reduction",
+            &Component::FIG17A,
+            false,
+        ),
+        'b' => (
+            "Figure 17b: latency speedup vs CPU-component reduction",
+            &Component::FIG17B,
+            true,
+        ),
+        'c' => (
+            "Figure 17c: latency speedup vs I/O-component reduction",
+            &Component::FIG17C,
+            true,
+        ),
+        'd' => (
+            "Figure 17d: latency speedup vs network-component reduction",
+            &Component::FIG17D,
+            true,
+        ),
+        other => panic!("unknown Figure 17 panel: {other}"),
+    };
+    let curves: Vec<_> = comps
+        .iter()
+        .map(|&c| (c, w.curve(c, latency, &WhatIf::GRID)))
+        .collect();
+    render_curves(title, &curves)
+}
+
+/// §7's headline claims, evaluated.
+pub fn claims() -> String {
+    let mut out = String::from("Section 7 claims:\n");
+    for c in WhatIf::new(Calibration::default()).claims() {
+        out.push_str(&format!(
+            "  [{}] {} -> model {:.2}% (paper {:.2}%)\n",
+            if c.holds { "ok" } else { "FAIL" },
+            c.name,
+            c.speedup_pct,
+            c.paper_pct
+        ));
+    }
+    out
+}
+
+/// Model-vs-observed validation table.
+pub fn validation(scale: Scale) -> String {
+    let s = match scale {
+        Scale::Quick => ValidationScale::quick(),
+        Scale::Full => ValidationScale::default(),
+    };
+    let report = validate_all(&Calibration::default(), s, true);
+    let mut out = String::from(
+        "Model vs simulated observation (jittered system):\n\
+         quantity                              model(ns)  observed(ns)  error\n",
+    );
+    for row in &report.rows {
+        out.push_str(&format!(
+            "  {:<36} {:>9.2} {:>12.2} {:>6.2}% [{}]\n",
+            row.name,
+            row.modeled_ns,
+            row.observed_ns,
+            row.error_frac * 100.0,
+            if row.passes() { "ok" } else { "FAIL" }
+        ));
+    }
+    out
+}
+
+/// Extension experiments beyond the paper's figures.
+pub fn ext_scaling() -> String {
+    let m = ScalingModel::new(Calibration::default());
+    let mut out = String::from(
+        "Message-size scaling (UCT latency model; extension of §1's argument)
+",
+    );
+    out.push_str(&format!(
+        "  {:>10}  {:>12}  {:>10}
+",
+        "bytes", "latency", "network %"
+    ));
+    let mut x = 8u32;
+    while x <= 1 << 20 {
+        out.push_str(&format!(
+            "  {x:>10}  {:>10.1}ns  {:>9.1}%
+",
+            m.latency_ns(x),
+            m.network_share(x) * 100.0
+        ));
+        x *= 4;
+    }
+    out.push_str(&format!(
+        "  network-majority crossover: {:?} bytes
+",
+        m.crossover_size(0.5)
+    ));
+    out
+}
+
+/// Eager-vs-rendezvous crossover, measured on the simulated stack.
+pub fn ext_crossover() -> String {
+    let rows = eager_rndv_sweep(
+        &StackConfig::validation(),
+        &[4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024],
+    );
+    let mut out = String::from("Eager vs rendezvous (measured, deterministic)
+");
+    for (p, e, r) in rows {
+        out.push_str(&format!(
+            "  {p:>8} B  eager {e:>10.1} ns  rndv {r:>10.1} ns  -> {}
+",
+            if e <= r { "eager" } else { "rendezvous" }
+        ));
+    }
+    out
+}
+
+/// Multi-core credit-exhaustion onset (§4.2's excluded regime).
+pub fn ext_multicore() -> String {
+    let onset = credit_exhaustion_onset(&StackConfig::validation(), &[1, 4, 16, 64, 128]);
+    let mut out = String::from("Multi-core injection: RC posted-credit exhaustion
+");
+    for (cores, stalled) in onset {
+        out.push_str(&format!(
+            "  {cores:>4} cores: {}
+",
+            if stalled {
+                "credits EXHAUSTED (RC stalls MMIO writes)"
+            } else {
+                "no stalls (the paper's single-core regime)"
+            }
+        ));
+    }
+    out
+}
+
+/// Alternative system profiles (the §7 optimizations as whole systems).
+pub fn ext_profiles() -> String {
+    let mut out = String::from("Alternative system calibrations (end-to-end latency)
+");
+    for (name, c) in [
+        ("ThunderX2 + ConnectX-4 (paper)", Calibration::default()),
+        ("integrated-NIC SoC (Tofu-D-like)", profiles::integrated_nic_soc()),
+        ("strongly-ordered CPU (x86-TSO)", profiles::strongly_ordered_cpu()),
+        ("fast device memory", profiles::fast_device_memory()),
+        ("GenZ-class switch (30 ns)", profiles::genz_switch()),
+        ("PAM4 + FEC interconnect", profiles::pam4_fec_interconnect()),
+    ] {
+        let m = EndToEndLatencyModel::from_calibration(&c);
+        out.push_str(&format!("  {name:<34} {}
+", m.total()));
+    }
+    out
+}
+
+/// §6's four insights, evaluated on the calibrated system and on the
+/// integrated-NIC profile (where insight 3 weakens — the point of §7.1).
+pub fn ext_insights() -> String {
+    let mut out = String::from("Section 6 insights (calibrated system):
+");
+    for i in bband_core::insights::all(&Calibration::default()) {
+        out.push_str(&format!(
+            "  [{}] Insight {}: {} (value {:.2})
+",
+            if i.holds { "ok" } else { "FAIL" },
+            i.id,
+            i.statement,
+            i.value
+        ));
+    }
+    out.push_str("on the integrated-NIC SoC profile:
+");
+    for i in bband_core::insights::all(&profiles::integrated_nic_soc()) {
+        out.push_str(&format!(
+            "  [{}] Insight {}: value {:.2}
+",
+            if i.holds { "ok" } else { "changed" },
+            i.id,
+            i.value
+        ));
+    }
+    out
+}
+
+/// Every figure id the harness knows.
+pub const ALL_TARGETS: [&str; 23] = [
+    "table1", "fig4", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17a", "fig17b", "fig17c", "fig17d", "claims", "validate", "scaling",
+    "crossover", "multicore", "profiles", "insights",
+];
+
+/// Run one target by name.
+pub fn run_target(name: &str, scale: Scale) -> String {
+    match name {
+        "table1" => table1(),
+        "fig4" => fig4(),
+        "fig6" => fig6(scale),
+        "fig7" => fig7(scale),
+        "fig8" => fig8(),
+        "fig10" => fig10(scale),
+        "fig11" => fig11(),
+        "fig12" => fig12(),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "fig15" => fig15(),
+        "fig16" => fig16(),
+        "fig17a" => fig17('a'),
+        "fig17b" => fig17('b'),
+        "fig17c" => fig17('c'),
+        "fig17d" => fig17('d'),
+        "claims" => claims(),
+        "validate" => validation(scale),
+        "scaling" => ext_scaling(),
+        "crossover" => ext_crossover(),
+        "multicore" => ext_multicore(),
+        "profiles" => ext_profiles(),
+        "insights" => ext_insights(),
+        other => panic!("unknown target {other}; known: {ALL_TARGETS:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_target_renders_nonempty() {
+        for t in ALL_TARGETS {
+            let out = run_target(t, Scale::Quick);
+            assert!(!out.trim().is_empty(), "target {t} rendered nothing");
+        }
+    }
+
+    #[test]
+    fn table1_has_the_calibrated_totals() {
+        let t = table1();
+        assert!(t.contains("175.42"));
+        assert!(t.contains("382.81"));
+    }
+
+    #[test]
+    fn fig17_panels_render_all_lines() {
+        assert!(fig17('a').contains("LLP_post"));
+        assert!(fig17('b').contains("HLP_rx_prog"));
+        assert!(fig17('c').contains("Integrated NIC"));
+        assert!(fig17('d').contains("Switch"));
+    }
+
+    #[test]
+    fn claims_all_hold() {
+        let c = claims();
+        assert!(!c.contains("FAIL"), "{c}");
+    }
+
+    #[test]
+    fn validation_quick_passes() {
+        let v = validation(Scale::Quick);
+        assert!(!v.contains("FAIL"), "{v}");
+    }
+}

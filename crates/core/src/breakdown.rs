@@ -1,0 +1,128 @@
+//! Labelled component sums — the data behind every breakdown figure.
+
+use bband_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// An ordered list of named components summing to a total.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Breakdown {
+    pub title: String,
+    items: Vec<(String, SimDuration)>,
+}
+
+impl Breakdown {
+    /// Empty breakdown with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Breakdown {
+            title: title.into(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Append a component.
+    pub fn push(&mut self, name: impl Into<String>, value: SimDuration) -> &mut Self {
+        self.items.push((name.into(), value));
+        self
+    }
+
+    /// Builder-style append.
+    pub fn with(mut self, name: impl Into<String>, value: SimDuration) -> Self {
+        self.push(name, value);
+        self
+    }
+
+    /// The components in order.
+    pub fn items(&self) -> &[(String, SimDuration)] {
+        &self.items
+    }
+
+    /// Sum of all components.
+    pub fn total(&self) -> SimDuration {
+        self.items.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Percentage share of each component (sums to 100 within rounding).
+    pub fn percentages(&self) -> Vec<(String, f64)> {
+        let total = self.total().as_ns_f64();
+        self.items
+            .iter()
+            .map(|(n, d)| {
+                let pct = if total > 0.0 {
+                    d.as_ns_f64() / total * 100.0
+                } else {
+                    0.0
+                };
+                (n.clone(), pct)
+            })
+            .collect()
+    }
+
+    /// Value of a named component.
+    pub fn get(&self, name: &str) -> Option<SimDuration> {
+        self.items
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// Percentage of a named component.
+    pub fn pct(&self, name: &str) -> Option<f64> {
+        self.percentages()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p)
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no components were added.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Breakdown {
+        Breakdown::new("test")
+            .with("a", SimDuration::from_ns(30))
+            .with("b", SimDuration::from_ns(70))
+    }
+
+    #[test]
+    fn totals_and_percentages() {
+        let b = sample();
+        assert_eq!(b.total(), SimDuration::from_ns(100));
+        let pct = b.percentages();
+        assert!((pct[0].1 - 30.0).abs() < 1e-9);
+        assert!((pct[1].1 - 70.0).abs() < 1e-9);
+        assert!((b.pct("b").unwrap() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let b = sample();
+        assert_eq!(b.get("a"), Some(SimDuration::from_ns(30)));
+        assert_eq!(b.get("missing"), None);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let b = sample();
+        let sum: f64 = b.percentages().iter().map(|(_, p)| p).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_safe() {
+        let b = Breakdown::new("empty");
+        assert!(b.is_empty());
+        assert_eq!(b.total(), SimDuration::ZERO);
+        assert!(b.percentages().is_empty());
+    }
+}

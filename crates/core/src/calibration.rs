@@ -1,0 +1,189 @@
+//! All calibrated constants (the paper's Table 1), assembled from the
+//! substrate crates so a what-if change in any lower-level model propagates
+//! into every derived figure.
+
+use bband_fabric::NetworkModel;
+use bband_hlp::UcpCosts;
+use bband_llp::LlpCosts;
+use bband_memsys::RcToMemModel;
+use bband_mpi::MpiCosts;
+use bband_pcie::LinkModel;
+use bband_profiling::profiler::UCS_OVERHEAD_MEAN_NS;
+use bband_sim::SimDuration;
+
+/// The calibrated system: every number the models consume.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    pub llp: LlpCosts,
+    pub ucp: UcpCosts,
+    pub mpich: MpiCosts,
+    pub link: LinkModel,
+    pub network: NetworkModel,
+    pub rc_to_mem: RcToMemModel,
+    /// The benchmark's measurement update (Table 1: 49.69 ns).
+    pub measurement_update: SimDuration,
+    /// Amortized busy-post time per operation in the MPI message-rate run
+    /// (§6 measures 3.17 ns/op).
+    pub overall_busy_misc: SimDuration,
+    /// Unsignaled-completion period used for amortization (c = 64).
+    pub signal_period: u32,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration::thunderx2_connectx4()
+    }
+}
+
+impl Calibration {
+    /// The paper's system: ThunderX2 + ConnectX-4 through one switch.
+    pub fn thunderx2_connectx4() -> Self {
+        Calibration {
+            llp: LlpCosts::default().deterministic(),
+            ucp: UcpCosts::default(),
+            mpich: MpiCosts::default(),
+            link: LinkModel::default().deterministic(),
+            network: NetworkModel::paper_default().deterministic(),
+            rc_to_mem: RcToMemModel::default(),
+            measurement_update: SimDuration::from_ns_f64(UCS_OVERHEAD_MEAN_NS),
+            overall_busy_misc: SimDuration::from_ns_f64(3.17),
+            signal_period: 64,
+        }
+    }
+
+    // --- Table 1 derived quantities -----------------------------------
+
+    /// `LLP_post` (175.42 ns).
+    pub fn llp_post(&self) -> SimDuration {
+        self.llp.post_mean(1)
+    }
+
+    /// `LLP_prog` (61.63 ns).
+    pub fn llp_prog(&self) -> SimDuration {
+        self.llp.prog
+    }
+
+    /// `PCIe` — one-way 64-byte TLP (137.49 ns).
+    pub fn pcie(&self) -> SimDuration {
+        self.link.pcie_64b()
+    }
+
+    /// `Wire` (274.81 ns).
+    pub fn wire(&self) -> SimDuration {
+        self.network.wire.wire_8b()
+    }
+
+    /// `Switch` (108 ns).
+    pub fn switch(&self) -> SimDuration {
+        self.network.switch.base
+    }
+
+    /// `Network = Wire + Switch` (382.81 ns).
+    pub fn network_total(&self) -> SimDuration {
+        self.wire() + self.switch()
+    }
+
+    /// `RC-to-MEM(8B)` (240.96 ns).
+    pub fn rc_to_mem_8b(&self) -> SimDuration {
+        self.rc_to_mem.eight_byte()
+    }
+
+    /// `RC-to-MEM(64B)` — the CQE write inside `gen_completion`.
+    pub fn rc_to_mem_64b(&self) -> SimDuration {
+        self.rc_to_mem.cqe_write()
+    }
+
+    /// `HLP_post` — MPICH + UCP send-side work (26.56 ns).
+    pub fn hlp_post(&self) -> SimDuration {
+        self.mpich.isend + self.ucp.tag_send
+    }
+
+    /// `Post = HLP_post + LLP_post` (201.98 ns).
+    pub fn post(&self) -> SimDuration {
+        self.hlp_post() + self.llp_post()
+    }
+
+    /// `HLP_tx_prog` — HLP share of send-progress per op (≈58.86 ns).
+    pub fn hlp_tx_prog(&self) -> SimDuration {
+        self.mpich.waitall_per_op + self.ucp.tx_prog_per_op
+    }
+
+    /// `LLP_tx_prog` — `LLP_prog` amortized over the moderation period
+    /// (≈0.96 ns; "less than a nanosecond", §6).
+    pub fn llp_tx_prog(&self) -> SimDuration {
+        self.llp.prog / self.signal_period as u64
+    }
+
+    /// `Post_prog = HLP_tx_prog + LLP_tx_prog` (59.82 ns).
+    pub fn post_prog(&self) -> SimDuration {
+        self.hlp_tx_prog() + self.llp_tx_prog()
+    }
+
+    /// `HLP_rx_prog` — UCP callback + MPICH callback + MPICH epilogue
+    /// (224.66 ns).
+    pub fn hlp_rx_prog(&self) -> SimDuration {
+        self.ucp.recv_callback + self.mpich.recv_callback + self.mpich.wait_epilogue
+    }
+
+    /// `gen_completion = 2 (PCIe + Network) + RC-to-MEM(64B)` (§4.2).
+    pub fn gen_completion(&self) -> SimDuration {
+        (self.pcie() + self.network_total()) * 2 + self.rc_to_mem_64b()
+    }
+
+    /// Lower bound on the poll interval: `p ≥ gen_completion / LLP_post`.
+    pub fn p_lower_bound(&self) -> u64 {
+        self.gen_completion().div_ceil_by(self.llp_post())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_derived_quantities() {
+        let c = Calibration::default();
+        let close = |a: SimDuration, b: f64, what: &str| {
+            assert!(
+                (a.as_ns_f64() - b).abs() < 0.02,
+                "{what}: {} vs {b}",
+                a.as_ns_f64()
+            );
+        };
+        close(c.llp_post(), 175.42, "LLP_post");
+        close(c.llp_prog(), 61.63, "LLP_prog");
+        close(c.pcie(), 137.49, "PCIe");
+        close(c.wire(), 274.81, "Wire");
+        close(c.switch(), 108.0, "Switch");
+        close(c.network_total(), 382.81, "Network");
+        close(c.rc_to_mem_8b(), 240.96, "RC-to-MEM(8B)");
+        close(c.hlp_post(), 26.56, "HLP_post");
+        close(c.post(), 201.98, "Post");
+        close(c.hlp_rx_prog(), 224.66, "HLP_rx_prog");
+        close(c.post_prog(), 59.82, "Post_prog");
+    }
+
+    #[test]
+    fn llp_tx_prog_is_under_a_nanosecond() {
+        // §6: "Less than a nanosecond of Post_prog ... occurs in the LLP".
+        let c = Calibration::default();
+        assert!(c.llp_tx_prog().as_ns_f64() < 1.0);
+    }
+
+    #[test]
+    fn p_bound_is_satisfied_by_put_bw() {
+        // put_bw polls every 16 posts; the bound must be ≤ 16.
+        let c = Calibration::default();
+        let p = c.p_lower_bound();
+        assert!(p <= 16, "p lower bound {p} must admit put_bw's 16");
+        assert!(p >= 2, "gen_completion spans several posts");
+    }
+
+    #[test]
+    fn gen_completion_magnitude() {
+        let c = Calibration::default();
+        let g = c.gen_completion().as_ns_f64();
+        // 2*(137.49+382.81) + 247.68 = 1288.28
+        assert!((g - 1288.28).abs() < 0.1, "gen_completion = {g}");
+    }
+}

@@ -1,0 +1,142 @@
+//! §6's four insights, encoded as checkable predicates.
+//!
+//! The paper distills its complete picture into four findings. Each is a
+//! function of the calibration, so a what-if profile can be asked "do the
+//! paper's insights still hold on this system?" — e.g. Insight 3 (most
+//! on-node time is on the target) *flips* on the integrated-NIC profile,
+//! which is precisely why that optimization matters.
+
+use crate::calibration::Calibration;
+use crate::injection::OverallInjectionModel;
+use crate::latency::{Category, EndToEndLatencyModel};
+use crate::hlp_breakdown;
+use serde::Serialize;
+
+/// One evaluated insight.
+#[derive(Debug, Clone, Serialize)]
+pub struct Insight {
+    pub id: u8,
+    pub statement: &'static str,
+    /// The quantity the insight hinges on.
+    pub value: f64,
+    /// Whether the insight holds for the given calibration.
+    pub holds: bool,
+}
+
+/// Insight 1: once progress is amortized (unsignaled completions), `Post`
+/// dominates the overall injection overhead (>70%).
+pub fn insight1(c: &Calibration) -> Insight {
+    let m = OverallInjectionModel::from_calibration(c);
+    let pct = m.breakdown().pct("Post").expect("Post present");
+    Insight {
+        id: 1,
+        statement: "Post dominates the overall injection overhead (>70%)",
+        value: pct,
+        holds: pct > 70.0,
+    }
+}
+
+/// Insight 2: most of a small message's latency is incurred on the node
+/// (CPU + I/O ≈ 72.4%), none of the three categories dominating alone.
+pub fn insight2(c: &Calibration) -> Insight {
+    let m = EndToEndLatencyModel::from_calibration(c);
+    let total = m.total().as_ns_f64();
+    let on_node = (m.category_total(Category::Cpu) + m.category_total(Category::Io)).as_ns_f64();
+    let pct = on_node / total * 100.0;
+    Insight {
+        id: 2,
+        statement: "most of the latency is incurred on the node (CPU + I/O > 2/3)",
+        value: pct,
+        holds: pct > 66.7,
+    }
+}
+
+/// Insight 3: the majority of the on-node time is on the *target* node,
+/// dominated by its I/O (the RC writing the payload).
+pub fn insight3(c: &Calibration) -> Insight {
+    let m = EndToEndLatencyModel::from_calibration(c);
+    let pct = m.on_node_breakdown().pct("Target").expect("Target present");
+    Insight {
+        id: 3,
+        statement: "the majority of on-node time is on the target node",
+        value: pct,
+        holds: pct > 50.0,
+    }
+}
+
+/// Insight 4: the HLP dominates progress in both directions, and receive
+/// progress costs several times send progress (4.78x on the paper's
+/// system).
+pub fn insight4(c: &Calibration) -> Insight {
+    let ratio = hlp_breakdown::rx_to_tx_progress_ratio(c);
+    let hlp_rx = hlp_breakdown::rx_progress_split(c)
+        .pct("HLP")
+        .expect("HLP present");
+    Insight {
+        id: 4,
+        statement: "HLP dominates progress; RX progress is several times TX progress",
+        value: ratio,
+        holds: ratio > 2.0 && hlp_rx > 50.0,
+    }
+}
+
+/// All four insights for a calibration.
+pub fn all(c: &Calibration) -> [Insight; 4] {
+    [insight1(c), insight2(c), insight3(c), insight4(c)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn all_insights_hold_on_the_papers_system() {
+        for insight in all(&Calibration::default()) {
+            assert!(
+                insight.holds,
+                "insight {} failed: {} (value {:.2})",
+                insight.id, insight.statement, insight.value
+            );
+        }
+    }
+
+    #[test]
+    fn insight_values_match_the_paper() {
+        let c = Calibration::default();
+        assert!((insight1(&c).value - 76.23).abs() < 0.05);
+        assert!((insight2(&c).value - 72.40).abs() < 0.05);
+        assert!((insight3(&c).value - 66.20).abs() < 0.05);
+        assert!((insight4(&c).value - 4.78).abs() < 0.02);
+    }
+
+    #[test]
+    fn integrated_nic_flips_the_targets_io_dominance() {
+        // On the paper's system the target node's time is I/O-dominated
+        // (56.93% I/O — insight 3's second half). With the NIC on the die
+        // the RC-to-MEM and PCIe terms collapse and the target becomes
+        // CPU-dominated: the structural change §7.1's optimization is
+        // after.
+        use crate::latency::EndToEndLatencyModel;
+        let base = EndToEndLatencyModel::from_calibration(&Calibration::default());
+        let soc = EndToEndLatencyModel::from_calibration(&profiles::integrated_nic_soc());
+        let base_io = base.target_split().pct("I/O").unwrap();
+        let soc_io = soc.target_split().pct("I/O").unwrap();
+        assert!(base_io > 50.0, "paper's target is I/O-dominated: {base_io:.1}%");
+        assert!(
+            soc_io < 50.0,
+            "SoC target should flip to CPU-dominated: {soc_io:.1}%"
+        );
+        // And the overall target share shrinks too.
+        let b3 = insight3(&Calibration::default()).value;
+        let s3 = insight3(&profiles::integrated_nic_soc()).value;
+        assert!(s3 < b3, "target share {b3:.1}% -> {s3:.1}%");
+    }
+
+    #[test]
+    fn insights_serialize_for_reports() {
+        let json = serde_json::to_string(&all(&Calibration::default())).unwrap();
+        assert!(json.contains("\"id\":1"));
+        assert!(json.contains("holds"));
+    }
+}

@@ -1,0 +1,283 @@
+//! The latency models.
+//!
+//! **LLP-level** (§4.3), measured by `am_lat`:
+//!
+//! ```text
+//! Latency = LLP_post + 2·PCIe + Network + RC-to-MEM(xB) + LLP_prog
+//!         = 1135.8 ns for x = 8
+//! ```
+//!
+//! **End-to-end** (§6), measured by the OSU latency test:
+//!
+//! ```text
+//! Latency = HLP_post + LLP_post + 2·PCIe + Network + RC-to-MEM(xB)
+//!         + LLP_prog + HLP_rx_prog = 1387.02 ns
+//! ```
+//!
+//! plus the category rollups of Figures 15 (CPU / I/O / Network) and 16
+//! (initiator vs target, and their internal splits).
+
+use crate::breakdown::Breakdown;
+use crate::calibration::Calibration;
+use bband_sim::SimDuration;
+
+/// High-level component category (Figure 15's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    Cpu,
+    Io,
+    Network,
+}
+
+/// The LLP-level latency model.
+#[derive(Debug, Clone)]
+pub struct LlpLatencyModel {
+    pub llp_post: SimDuration,
+    pub pcie: SimDuration,
+    pub wire: SimDuration,
+    pub switch: SimDuration,
+    pub rc_to_mem: SimDuration,
+    pub llp_prog: SimDuration,
+}
+
+impl LlpLatencyModel {
+    /// Build for an 8-byte payload.
+    pub fn from_calibration(c: &Calibration) -> Self {
+        LlpLatencyModel {
+            llp_post: c.llp_post(),
+            pcie: c.pcie(),
+            wire: c.wire(),
+            switch: c.switch(),
+            rc_to_mem: c.rc_to_mem_8b(),
+            llp_prog: c.llp_prog(),
+        }
+    }
+
+    /// Modeled latency (1135.8 ns).
+    pub fn total(&self) -> SimDuration {
+        self.llp_post
+            + self.pcie * 2
+            + self.wire
+            + self.switch
+            + self.rc_to_mem
+            + self.llp_prog
+    }
+
+    /// Figure 10's breakdown (the paper's Fig. 10 omits `LLP_prog` from
+    /// the percentage bar; we include it as its own labelled slice so the
+    /// shares of the other six match when it is excluded).
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown::new("Latency with the LLP (Fig. 10)")
+            .with("LLP_post", self.llp_post)
+            .with("TX PCIe", self.pcie)
+            .with("Wire", self.wire)
+            .with("Switch", self.switch)
+            .with("RX PCIe", self.pcie)
+            .with("RC-to-MEM(8B)", self.rc_to_mem)
+    }
+}
+
+/// The end-to-end latency model.
+#[derive(Debug, Clone)]
+pub struct EndToEndLatencyModel {
+    pub hlp_post: SimDuration,
+    pub llp: LlpLatencyModel,
+    pub hlp_rx_prog: SimDuration,
+}
+
+impl EndToEndLatencyModel {
+    /// Build for an 8-byte payload.
+    pub fn from_calibration(c: &Calibration) -> Self {
+        EndToEndLatencyModel {
+            hlp_post: c.hlp_post(),
+            llp: LlpLatencyModel::from_calibration(c),
+            hlp_rx_prog: c.hlp_rx_prog(),
+        }
+    }
+
+    /// Modeled end-to-end latency (1387.02 ns).
+    pub fn total(&self) -> SimDuration {
+        self.hlp_post + self.llp.total() + self.hlp_rx_prog
+    }
+
+    /// Figure 13's nine-component breakdown.
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown::new("End-to-end latency (Fig. 13)")
+            .with("HLP_post", self.hlp_post)
+            .with("LLP_post", self.llp.llp_post)
+            .with("TX PCIe", self.llp.pcie)
+            .with("Wire", self.llp.wire)
+            .with("Switch", self.llp.switch)
+            .with("RX PCIe", self.llp.pcie)
+            .with("RC-to-MEM(8B)", self.llp.rc_to_mem)
+            .with("LLP_prog", self.llp.llp_prog)
+            .with("HLP_rx_prog", self.hlp_rx_prog)
+    }
+
+    /// Total time in one category.
+    pub fn category_total(&self, cat: Category) -> SimDuration {
+        match cat {
+            Category::Cpu => {
+                self.hlp_post + self.llp.llp_post + self.llp.llp_prog + self.hlp_rx_prog
+            }
+            Category::Io => self.llp.pcie * 2 + self.llp.rc_to_mem,
+            Category::Network => self.llp.wire + self.llp.switch,
+        }
+    }
+
+    /// Figure 15's top-level split.
+    pub fn category_breakdown(&self) -> Breakdown {
+        Breakdown::new("End-to-end latency by category (Fig. 15)")
+            .with("Network", self.category_total(Category::Network))
+            .with("I/O", self.category_total(Category::Io))
+            .with("CPU", self.category_total(Category::Cpu))
+    }
+
+    /// Figure 15's per-category sub-splits.
+    pub fn category_sub_breakdown(&self, cat: Category) -> Breakdown {
+        match cat {
+            Category::Cpu => Breakdown::new("CPU split (Fig. 15)")
+                .with("LLP", self.llp.llp_post + self.llp.llp_prog)
+                .with("HLP", self.hlp_post + self.hlp_rx_prog),
+            Category::Io => Breakdown::new("I/O split (Fig. 15)")
+                .with("RC-to-MEM", self.llp.rc_to_mem)
+                .with("PCIe", self.llp.pcie * 2),
+            Category::Network => Breakdown::new("Network split (Fig. 15)")
+                .with("Wire", self.llp.wire)
+                .with("Switch", self.llp.switch),
+        }
+    }
+
+    /// Figure 16: time on the initiator node vs the target node (the
+    /// on-node portion only — network excluded).
+    pub fn on_node_breakdown(&self) -> Breakdown {
+        let initiator = self.hlp_post + self.llp.llp_post + self.llp.pcie;
+        let target =
+            self.llp.pcie + self.llp.rc_to_mem + self.llp.llp_prog + self.hlp_rx_prog;
+        Breakdown::new("On-node time (Fig. 16)")
+            .with("Initiator", initiator)
+            .with("Target", target)
+    }
+
+    /// Figure 16: the initiator's CPU/I-O split.
+    pub fn initiator_split(&self) -> Breakdown {
+        Breakdown::new("Initiator split (Fig. 16)")
+            .with("I/O", self.llp.pcie)
+            .with("CPU", self.hlp_post + self.llp.llp_post)
+    }
+
+    /// Figure 16: the target's CPU/I-O split.
+    pub fn target_split(&self) -> Breakdown {
+        Breakdown::new("Target split (Fig. 16)")
+            .with("I/O", self.llp.pcie + self.llp.rc_to_mem)
+            .with("CPU", self.llp.llp_prog + self.hlp_rx_prog)
+    }
+
+    /// Figure 16: the target's I/O split.
+    pub fn target_io_split(&self) -> Breakdown {
+        Breakdown::new("Target I/O split (Fig. 16)")
+            .with("RC-to-MEM", self.llp.rc_to_mem)
+            .with("PCIe", self.llp.pcie)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e2e() -> EndToEndLatencyModel {
+        EndToEndLatencyModel::from_calibration(&Calibration::default())
+    }
+
+    #[test]
+    fn llp_latency_totals_1135_8() {
+        let m = LlpLatencyModel::from_calibration(&Calibration::default());
+        assert!((m.total().as_ns_f64() - 1135.8).abs() < 0.05, "{}", m.total());
+    }
+
+    #[test]
+    fn fig10_percentages() {
+        // Figure 10 (excludes LLP_prog): LLP_post 16.33%, TX PCIe 12.80%,
+        // Wire 25.58%, Switch 10.05%, RX PCIe 12.80%, RC-to-MEM 22.43%.
+        let m = LlpLatencyModel::from_calibration(&Calibration::default());
+        let b = m.breakdown();
+        assert!((b.pct("LLP_post").unwrap() - 16.33).abs() < 0.05);
+        assert!((b.pct("Wire").unwrap() - 25.58).abs() < 0.05);
+        assert!((b.pct("Switch").unwrap() - 10.05).abs() < 0.05);
+        assert!((b.pct("RC-to-MEM(8B)").unwrap() - 22.43).abs() < 0.05);
+    }
+
+    #[test]
+    fn e2e_latency_totals_1387_02() {
+        assert!((e2e().total().as_ns_f64() - 1387.02).abs() < 0.05);
+    }
+
+    #[test]
+    fn fig13_percentages() {
+        // Figure 13: HLP_post 1.91%, LLP_post 12.65%, TX PCIe 9.91%,
+        // Wire 19.81%, Switch 7.79%, RX PCIe 9.91%, RC-to-MEM 17.37%,
+        // LLP_prog 4.44%, HLP_rx_prog 16.20%.
+        let b = e2e().breakdown();
+        assert_eq!(b.len(), 9);
+        for (name, expect) in [
+            ("HLP_post", 1.91),
+            ("LLP_post", 12.65),
+            ("TX PCIe", 9.91),
+            ("Wire", 19.81),
+            ("Switch", 7.79),
+            ("RC-to-MEM(8B)", 17.37),
+            ("LLP_prog", 4.44),
+            ("HLP_rx_prog", 16.20),
+        ] {
+            let got = b.pct(name).unwrap();
+            assert!((got - expect).abs() < 0.05, "{name}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn fig15_category_shares() {
+        // Figure 15: Network 27.60%, I/O 37.20%, CPU 35.20%.
+        let b = e2e().category_breakdown();
+        assert!((b.pct("Network").unwrap() - 27.60).abs() < 0.05);
+        assert!((b.pct("I/O").unwrap() - 37.20).abs() < 0.05);
+        assert!((b.pct("CPU").unwrap() - 35.20).abs() < 0.05);
+    }
+
+    #[test]
+    fn fig15_sub_splits() {
+        let m = e2e();
+        let cpu = m.category_sub_breakdown(Category::Cpu);
+        assert!((cpu.pct("LLP").unwrap() - 48.55).abs() < 0.1);
+        assert!((cpu.pct("HLP").unwrap() - 51.45).abs() < 0.1);
+        let io = m.category_sub_breakdown(Category::Io);
+        assert!((io.pct("RC-to-MEM").unwrap() - 46.70).abs() < 0.1);
+        assert!((io.pct("PCIe").unwrap() - 53.30).abs() < 0.1);
+        let net = m.category_sub_breakdown(Category::Network);
+        assert!((net.pct("Wire").unwrap() - 71.79).abs() < 0.1);
+        assert!((net.pct("Switch").unwrap() - 28.21).abs() < 0.1);
+    }
+
+    #[test]
+    fn fig16_on_node_shares() {
+        // Figure 16: Initiator 33.80%, Target 66.20%; initiator I/O 40.50%;
+        // target I/O 56.93%; target-I/O RC-to-MEM 63.67%.
+        let m = e2e();
+        let on = m.on_node_breakdown();
+        assert!((on.pct("Initiator").unwrap() - 33.80).abs() < 0.05);
+        assert!((on.pct("Target").unwrap() - 66.20).abs() < 0.05);
+        assert!((m.initiator_split().pct("I/O").unwrap() - 40.50).abs() < 0.05);
+        assert!((m.target_split().pct("I/O").unwrap() - 56.93).abs() < 0.05);
+        assert!((m.target_io_split().pct("RC-to-MEM").unwrap() - 63.67).abs() < 0.05);
+    }
+
+    #[test]
+    fn insight2_majority_of_latency_is_on_node() {
+        // §6 Insight 2: CPU + I/O = 72.4% of the latency; network < 1/3.
+        let m = e2e();
+        let total = m.total().as_ns_f64();
+        let on_node = (m.category_total(Category::Cpu) + m.category_total(Category::Io))
+            .as_ns_f64();
+        assert!((on_node / total * 100.0 - 72.4).abs() < 0.1);
+        assert!(m.category_total(Category::Network).as_ns_f64() / total < 1.0 / 3.0);
+    }
+}

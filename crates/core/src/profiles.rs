@@ -1,0 +1,169 @@
+//! Alternative system calibrations: the §7 optimizations as whole-system
+//! profiles rather than single-component scalings.
+//!
+//! Each profile is a [`Calibration`] for a plausible future system, so the
+//! full model suite (breakdowns, validation, what-if) runs on it
+//! unchanged:
+//!
+//! * [`integrated_nic_soc`] — the NIC on the processor die (Tofu-D-style;
+//!   §7.1 cites the post-K machine improving RDMA-write latency "by nearly
+//!   400 nanoseconds");
+//! * [`strongly_ordered_cpu`] — an x86-TSO-like core: no store barriers on
+//!   the post path;
+//! * [`fast_device_memory`] — Device-GRE writes as fast as Normal memory
+//!   (§7.1's PIO optimization as a memory-system property);
+//! * [`genz_switch`] — a 30 ns switch (§7.2 cites GenZ's 30–50 ns
+//!   forecast);
+//! * [`pam4_fec_interconnect`] — a >100 Gb/s link paying ~300 ns of FEC
+//!   (§7.2's bandwidth-for-latency trade).
+
+use crate::calibration::Calibration;
+use bband_llp::LlpCosts;
+use bband_memsys::{BarrierModel, RcToMemModel, WriteCostModel};
+use bband_sim::SimDuration;
+
+/// §7.1: a NIC integrated into the SoC. The PCIe hop collapses to an
+/// on-die network-on-chip traversal (~15 ns) and the payload write lands
+/// through the coherent fabric at cache speed (~60 ns): most of the I/O
+/// category disappears.
+pub fn integrated_nic_soc() -> Calibration {
+    let mut c = Calibration::thunderx2_connectx4();
+    // NoC hop instead of a PCIe link: keep the serialization term, shrink
+    // the pipeline base.
+    c.link.base = SimDuration::from_ns_f64(15.0) - c.link.per_byte * 88;
+    // Coherent-fabric payload delivery instead of the RC's DDR write path.
+    c.rc_to_mem = RcToMemModel {
+        base: SimDuration::from_ns_f64(60.0),
+        per_byte: SimDuration::from_ps(30),
+    };
+    c
+}
+
+/// An x86-TSO-like core: the two `dmb st` barriers on the post path cost
+/// nothing; everything else unchanged.
+pub fn strongly_ordered_cpu() -> Calibration {
+    let mut c = Calibration::thunderx2_connectx4();
+    c.llp = LlpCosts::thunderx2(&BarrierModel::strongly_ordered(), &WriteCostModel::default())
+        .deterministic();
+    // The load barrier saving inside LLP_prog: keep the paper's measured
+    // LLP_prog minus its ~42 ns load-barrier share.
+    c.llp.prog = SimDuration::from_ns_f64(61.63 - 42.0);
+    c
+}
+
+/// §7.1: writes to Device memory as fast as to Normal memory — the PIO
+/// copy drops from 94.25 ns to sub-nanosecond.
+pub fn fast_device_memory() -> Calibration {
+    let mut c = Calibration::thunderx2_connectx4();
+    let mut writes = WriteCostModel::default();
+    writes.device_gre_per_chunk = writes.normal_per_chunk;
+    c.llp = LlpCosts::thunderx2(&BarrierModel::default(), &writes).deterministic();
+    c
+}
+
+/// §7.2: a GenZ-class switch at 30 ns.
+pub fn genz_switch() -> Calibration {
+    let mut c = Calibration::thunderx2_connectx4();
+    c.network.switch.base = SimDuration::from_ns_f64(30.0);
+    c
+}
+
+/// §7.2: a future high-rate link — double the bandwidth, ~300 ns of FEC.
+pub fn pam4_fec_interconnect() -> Calibration {
+    let mut c = Calibration::thunderx2_connectx4();
+    c.network.wire = bband_fabric::WireModel::pam4_with_fec().deterministic();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::EndToEndLatencyModel;
+    use crate::injection::InjectionModel;
+
+    fn e2e(c: &Calibration) -> f64 {
+        EndToEndLatencyModel::from_calibration(c).total().as_ns_f64()
+    }
+
+    #[test]
+    fn integrated_nic_saves_roughly_tofu_d_magnitude() {
+        // §7.1: Tofu-D's integration improved RDMA-write latency "by nearly
+        // 400 nanoseconds". Our SoC profile must land in that regime.
+        let base = e2e(&Calibration::default());
+        let soc = e2e(&integrated_nic_soc());
+        let saved = base - soc;
+        assert!(
+            (300.0..550.0).contains(&saved),
+            "integrated NIC saves {saved:.1} ns (expect ~400)"
+        );
+    }
+
+    #[test]
+    fn integrated_nic_shrinks_io_below_network() {
+        use crate::latency::Category;
+        let m = EndToEndLatencyModel::from_calibration(&integrated_nic_soc());
+        assert!(
+            m.category_total(Category::Io) < m.category_total(Category::Network),
+            "with an on-die NIC, I/O must stop dominating"
+        );
+    }
+
+    #[test]
+    fn strongly_ordered_cpu_saves_barrier_time() {
+        let base = InjectionModel::from_calibration(&Calibration::default());
+        let tso = InjectionModel::from_calibration(&strongly_ordered_cpu());
+        let saved = base.total().as_ns_f64() - tso.total().as_ns_f64();
+        // 17.33 + 21.07 (post barriers) + 42.0 (prog load barrier) = 80.4
+        assert!(
+            (saved - 80.4).abs() < 0.1,
+            "TSO profile saves {saved:.2} ns of barriers"
+        );
+    }
+
+    #[test]
+    fn fast_device_memory_matches_pio_whatif() {
+        let base = e2e(&Calibration::default());
+        let fast = e2e(&fast_device_memory());
+        assert!(
+            (base - fast - (94.25 - 0.9)).abs() < 0.2,
+            "device-memory profile saves {:.2}",
+            base - fast
+        );
+    }
+
+    #[test]
+    fn genz_switch_saves_78ns() {
+        let base = e2e(&Calibration::default());
+        let genz = e2e(&genz_switch());
+        assert!((base - genz - 78.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn pam4_fec_hurts_small_messages() {
+        // §7.2: "it is possible that the latency will increase in future
+        // interconnects in order to accommodate for higher throughput."
+        let base = e2e(&Calibration::default());
+        let pam = e2e(&pam4_fec_interconnect());
+        assert!(
+            pam > base + 200.0,
+            "FEC must visibly hurt 8-byte latency: {pam:.1} vs {base:.1}"
+        );
+    }
+
+    #[test]
+    fn profiles_keep_models_consistent() {
+        // Every profile must still produce self-consistent breakdowns
+        // (components sum to the total).
+        for c in [
+            integrated_nic_soc(),
+            strongly_ordered_cpu(),
+            fast_device_memory(),
+            genz_switch(),
+            pam4_fec_interconnect(),
+        ] {
+            let m = EndToEndLatencyModel::from_calibration(&c);
+            let sum = m.breakdown().total().as_ns_f64();
+            assert!((sum - m.total().as_ns_f64()).abs() < 1e-6);
+        }
+    }
+}

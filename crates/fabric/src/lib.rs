@@ -1,0 +1,23 @@
+//! Interconnect (network-fabric) model: wire, switch, topology.
+//!
+//! The paper's `Network` term is "the total time in the interconnect
+//! (Wire + Switch)": 274.81 ns for the physical wire of a direct NIC-to-NIC
+//! InfiniBand connection (which includes the SerDes conversion between the
+//! parallel PCIe-side signals and the serial fiber signals at both ends),
+//! plus 108 ns added by a Mellanox switch when one is on the path (§4.3,
+//! "Measuring Network"). §7.2 discusses why the wire latency is hard to
+//! reduce — higher-order PAM signalling needs forward error correction that
+//! can *add* up to ~300 ns — so the model exposes SerDes/FEC as an explicit
+//! knob for what-if runs.
+
+pub mod packet;
+pub mod reliability;
+pub mod switch;
+pub mod topology;
+pub mod wire;
+
+pub use packet::{NodeId, Packet, PacketId, PacketKind};
+pub use reliability::{LossyFabric, Psn, RcReceiver, RcSender, RcVerdict};
+pub use switch::SwitchModel;
+pub use topology::{NetworkModel, Topology};
+pub use wire::WireModel;

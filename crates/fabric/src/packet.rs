@@ -1,0 +1,143 @@
+//! Network packets exchanged NIC-to-NIC.
+//!
+//! InfiniBand reliable-connection (RC) transport delivers a message packet
+//! and returns a transport-level acknowledgement; the host NIC generates
+//! the CQE "upon the reception of the ACK from the target NIC" (§2 step 4–5).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node (endpoint) in the two-node evaluation setup; the type
+/// supports larger clusters for the sweep examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifies a message end-to-end (kept stable between the message packet
+/// and its ACK so the initiator NIC can match them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+/// What the packet is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// An RDMA-write: payload lands directly in a remote registered region;
+    /// no receive posted on the target (put semantics, UCX `put_short`).
+    RdmaWrite,
+    /// A send that must match a posted receive on the target (send-receive
+    /// semantics, UCX active message / MPI point-to-point).
+    Send,
+    /// A non-final MTU segment of a larger message: its payload is
+    /// DMA-written on arrival, but acknowledgement and completion belong
+    /// to the final segment.
+    Segment,
+    /// Transport-level acknowledgement for `acks`.
+    Ack,
+}
+
+/// A packet on the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    pub id: PacketId,
+    pub kind: PacketKind,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Application payload bytes (8 in all the paper's experiments).
+    pub payload: u32,
+    /// Application tag carried by two-sided sends (UCP/MPI tag matching).
+    pub tag: u64,
+    /// Destination queue pair (two-sided receive completions land on its
+    /// CQ; 0 unless set by `with_dst_qp`).
+    pub dst_qp: u32,
+    /// For `Ack`: the message being acknowledged.
+    pub acks: Option<PacketId>,
+}
+
+/// InfiniBand local-route-header + base-transport-header + iCRC/vCRC
+/// overhead per packet, in bytes.
+pub const IB_HEADER_BYTES: u32 = 30;
+
+impl Packet {
+    /// A message packet (RDMA-write or send).
+    pub fn message(id: PacketId, kind: PacketKind, src: NodeId, dst: NodeId, payload: u32) -> Self {
+        debug_assert!(kind != PacketKind::Ack);
+        Packet {
+            id,
+            kind,
+            src,
+            dst,
+            payload,
+            tag: 0,
+            dst_qp: 0,
+            acks: None,
+        }
+    }
+
+    /// Set the destination queue pair.
+    pub fn with_dst_qp(mut self, qp: u32) -> Self {
+        self.dst_qp = qp;
+        self
+    }
+
+    /// Same, with an application tag.
+    pub fn tagged(
+        id: PacketId,
+        kind: PacketKind,
+        src: NodeId,
+        dst: NodeId,
+        payload: u32,
+        tag: u64,
+    ) -> Self {
+        let mut p = Packet::message(id, kind, src, dst, payload);
+        p.tag = tag;
+        p
+    }
+
+    /// The transport ACK for this message, travelling the reverse path.
+    pub fn ack_for(&self, ack_id: PacketId) -> Packet {
+        debug_assert!(self.kind != PacketKind::Ack, "cannot ack an ack");
+        Packet {
+            id: ack_id,
+            kind: PacketKind::Ack,
+            src: self.dst,
+            dst: self.src,
+            payload: 0,
+            tag: 0,
+            dst_qp: 0,
+            acks: Some(self.id),
+        }
+    }
+
+    /// Bytes this packet occupies on the fiber.
+    pub fn wire_bytes(&self) -> u32 {
+        IB_HEADER_BYTES + self.payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_reverses_path_and_links_message() {
+        let msg = Packet::message(
+            PacketId(7),
+            PacketKind::Send,
+            NodeId(1),
+            NodeId(2),
+            8,
+        );
+        let ack = msg.ack_for(PacketId(8));
+        assert_eq!(ack.src, NodeId(2));
+        assert_eq!(ack.dst, NodeId(1));
+        assert_eq!(ack.acks, Some(PacketId(7)));
+        assert_eq!(ack.kind, PacketKind::Ack);
+        assert_eq!(ack.payload, 0);
+    }
+
+    #[test]
+    fn wire_bytes_include_ib_headers() {
+        let msg = Packet::message(PacketId(0), PacketKind::RdmaWrite, NodeId(0), NodeId(1), 8);
+        assert_eq!(msg.wire_bytes(), 8 + IB_HEADER_BYTES);
+        let ack = msg.ack_for(PacketId(1));
+        assert_eq!(ack.wire_bytes(), IB_HEADER_BYTES);
+    }
+}

@@ -1,0 +1,136 @@
+//! The network switch.
+//!
+//! The paper measures the switch's added latency as 108 ns by differencing
+//! two latency runs, with and without a switch on the path (§4.3). That is
+//! the uncontended cut-through latency; we additionally model output-port
+//! serialization so that multi-flow workloads (the fleet-sweep example)
+//! experience queueing, which the paper's single-flow experiments never do.
+
+use crate::packet::{NodeId, Packet};
+use bband_sim::{Jitter, Pcg64, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A cut-through switch with per-output-port serialization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwitchModel {
+    /// Uncontended port-to-port latency (header parse, routing, crossbar).
+    pub base: SimDuration,
+    /// Per-byte serialization on the egress port (same rate as the wire).
+    pub per_byte: SimDuration,
+    /// Per-hop jitter.
+    pub jitter: Jitter,
+    /// Busy-until horizon per egress port.
+    #[serde(skip)]
+    egress_busy: HashMap<NodeId, SimTime>,
+    /// Packets that experienced queueing (diagnostics).
+    pub contended: u64,
+}
+
+impl Default for SwitchModel {
+    /// Mellanox-class calibration: 108 ns cut-through (Table 1). An
+    /// Ethernet switch would be an order of magnitude slower; GenZ
+    /// forecasts 30–50 ns (§7.2).
+    fn default() -> Self {
+        SwitchModel {
+            base: SimDuration::from_ns_f64(108.0),
+            per_byte: SimDuration::from_ps(80),
+            jitter: Jitter::hw_default(),
+            egress_busy: HashMap::new(),
+            contended: 0,
+        }
+    }
+}
+
+impl SwitchModel {
+    /// Jitter-free copy for validation runs.
+    pub fn deterministic(mut self) -> Self {
+        self.jitter = Jitter::Fixed;
+        self
+    }
+
+    /// Mean uncontended delay added by the switch for this packet — the
+    /// paper's `Switch` term. (Cut-through: serialization is already paid
+    /// on the wire; only the crossbar cost is added.)
+    pub fn latency_mean(&self, _pkt: &Packet) -> SimDuration {
+        self.base
+    }
+
+    /// Delay added for a packet entering the switch at `arrival`, including
+    /// any wait for the egress port to drain earlier packets.
+    pub fn traverse(&mut self, arrival: SimTime, pkt: &Packet, rng: &mut Pcg64) -> SimDuration {
+        let crossbar = self.jitter.sample(self.base, rng);
+        let ready = arrival + crossbar;
+        let port_free = self
+            .egress_busy
+            .get(&pkt.dst)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let start_tx = ready.max_of(port_free);
+        if start_tx > ready {
+            self.contended += 1;
+        }
+        let serialize = self.per_byte * pkt.wire_bytes() as u64;
+        self.egress_busy.insert(pkt.dst, start_tx + serialize);
+        start_tx.since(arrival)
+    }
+
+    /// True if no packet ever queued behind another on an egress port.
+    pub fn uncontended(&self) -> bool {
+        self.contended == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketId, PacketKind};
+
+    fn pkt(id: u64, dst: u32) -> Packet {
+        Packet::message(PacketId(id), PacketKind::Send, NodeId(0), NodeId(dst), 8)
+    }
+
+    #[test]
+    fn uncontended_latency_is_108ns() {
+        let mut sw = SwitchModel::default().deterministic();
+        let mut rng = Pcg64::new(1);
+        let d = sw.traverse(SimTime::from_ns(1000), &pkt(0, 1), &mut rng);
+        assert!((d.as_ns_f64() - 108.0).abs() < 0.001);
+        assert!(sw.uncontended());
+    }
+
+    #[test]
+    fn same_egress_port_serializes() {
+        let mut sw = SwitchModel::default().deterministic();
+        let mut rng = Pcg64::new(2);
+        let t = SimTime::from_ns(0);
+        let d1 = sw.traverse(t, &pkt(0, 1), &mut rng);
+        // Second packet arrives 1 ns later, same destination: must wait for
+        // the first one's serialization.
+        let d2 = sw.traverse(SimTime::from_ns(1), &pkt(1, 1), &mut rng);
+        assert!(d2 > d1, "second packet should queue: {d2} <= {d1}");
+        assert!(!sw.uncontended());
+        assert_eq!(sw.contended, 1);
+    }
+
+    #[test]
+    fn different_egress_ports_do_not_interfere() {
+        let mut sw = SwitchModel::default().deterministic();
+        let mut rng = Pcg64::new(3);
+        let t = SimTime::from_ns(0);
+        let d1 = sw.traverse(t, &pkt(0, 1), &mut rng);
+        let d2 = sw.traverse(SimTime::from_ns(1), &pkt(1, 2), &mut rng);
+        assert_eq!(d1, d2);
+        assert!(sw.uncontended());
+    }
+
+    #[test]
+    fn widely_spaced_packets_never_queue() {
+        let mut sw = SwitchModel::default().deterministic();
+        let mut rng = Pcg64::new(4);
+        for i in 0..100u64 {
+            sw.traverse(SimTime::from_ns(i * 1_000), &pkt(i, 1), &mut rng);
+        }
+        assert!(sw.uncontended());
+    }
+}

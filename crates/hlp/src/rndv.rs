@@ -1,0 +1,130 @@
+//! The rendezvous protocol: UCP's large-message path.
+//!
+//! §5 of the paper: "UCP implements high-level communication protocols
+//! such as collectives, message fragmentation, etc." — the protocol
+//! selection between *eager* (payload travels with the first message, the
+//! small-message path every experiment in the paper uses) and
+//! *rendezvous* (a Ready-To-Send handshake followed by a zero-copy RDMA
+//! write) is exactly such a protocol. We implement the RTS/CTS/FIN
+//! variant UCX uses over RDMA-write-capable transports:
+//!
+//! ```text
+//! sender                              receiver
+//!   │ RTS(rndv_id, user_tag) ────────▶ │  (matches a posted receive)
+//!   │ ◀──────────────── CTS(rndv_id)   │
+//!   │ RDMA-write payload ────────────▶ │  (one-sided, zero-copy)
+//!   │ FIN(rndv_id, len) ─────────────▶ │  (receive completes)
+//!   ```
+//!
+//! Control messages are small tagged sends with the top tag bit set, so
+//! they share the transport receive pool with eager traffic but never
+//! reach user-level tag matching.
+
+/// Top bit marks a protocol-internal control message.
+pub const CTRL_BIT: u64 = 1 << 63;
+const KIND_SHIFT: u32 = 60;
+const ID_SHIFT: u32 = 32;
+const ID_MASK: u64 = 0xFFFF;
+const LOW_MASK: u64 = 0xFFFF_FFFF;
+
+/// Control-message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlKind {
+    /// Ready-to-send: carries the rendezvous id and the user tag.
+    Rts,
+    /// Clear-to-send: receiver is ready; carries the rendezvous id.
+    Cts,
+    /// Transfer finished: carries the rendezvous id and the payload size.
+    Fin,
+    /// A non-final fragment of a multi-segment eager message: carries the
+    /// fragment-op id and the total fragment count.
+    FragMid,
+    /// The final fragment: carries the fragment-op id and the user tag.
+    FragLast,
+}
+
+/// Wire size of a control message (header fields only).
+pub const CTRL_BYTES: u32 = 16;
+
+/// Encode a control tag.
+pub fn encode(kind: CtrlKind, rndv_id: u16, low: u32) -> u64 {
+    let k = match kind {
+        CtrlKind::Rts => 0u64,
+        CtrlKind::Cts => 1,
+        CtrlKind::Fin => 2,
+        CtrlKind::FragMid => 3,
+        CtrlKind::FragLast => 4,
+    };
+    CTRL_BIT | (k << KIND_SHIFT) | ((rndv_id as u64) << ID_SHIFT) | low as u64
+}
+
+/// Decode a control tag; `None` if it is a regular user tag.
+pub fn decode(tag: u64) -> Option<(CtrlKind, u16, u32)> {
+    if tag & CTRL_BIT == 0 {
+        return None;
+    }
+    let kind = match (tag >> KIND_SHIFT) & 0x7 {
+        0 => CtrlKind::Rts,
+        1 => CtrlKind::Cts,
+        2 => CtrlKind::Fin,
+        3 => CtrlKind::FragMid,
+        4 => CtrlKind::FragLast,
+        other => panic!("corrupt control tag kind {other}"),
+    };
+    let id = ((tag >> ID_SHIFT) & ID_MASK) as u16;
+    let low = (tag & LOW_MASK) as u32;
+    Some((kind, id, low))
+}
+
+/// Sender-side state of one rendezvous operation.
+#[derive(Debug, Clone, Copy)]
+pub struct RndvSend {
+    pub dst: bband_fabric::NodeId,
+    pub payload: u32,
+    /// The user-visible send request to complete at FIN time.
+    pub user_req: crate::ucp::ReqId,
+}
+
+/// Receiver-side state of one matched rendezvous operation.
+#[derive(Debug, Clone, Copy)]
+pub struct RndvRecv {
+    pub user_req: crate::ucp::ReqId,
+    pub tag: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for (kind, id, low) in [
+            (CtrlKind::Rts, 0u16, 0u32),
+            (CtrlKind::Cts, 1234, 0),
+            (CtrlKind::Fin, u16::MAX, u32::MAX),
+            (CtrlKind::Rts, 7, 0xDEAD_BEEF),
+            (CtrlKind::FragMid, 3, 17),
+            (CtrlKind::FragLast, 3, 0x42),
+        ] {
+            let tag = encode(kind, id, low);
+            assert_eq!(decode(tag), Some((kind, id, low)));
+            assert!(tag & CTRL_BIT != 0);
+        }
+    }
+
+    #[test]
+    fn user_tags_never_decode_as_control() {
+        for tag in [0u64, 1, 0xFFFF_FFFF, (1 << 63) - 1] {
+            assert_eq!(decode(tag), None, "tag {tag:#x}");
+        }
+    }
+
+    #[test]
+    fn distinct_fields_produce_distinct_tags() {
+        let a = encode(CtrlKind::Rts, 1, 5);
+        let b = encode(CtrlKind::Rts, 2, 5);
+        let c = encode(CtrlKind::Cts, 1, 5);
+        let d = encode(CtrlKind::Rts, 1, 6);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+}

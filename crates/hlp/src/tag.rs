@@ -1,0 +1,209 @@
+//! Tag matching: the expected/unexpected queues of a tag-matched transport.
+//!
+//! MPI point-to-point semantics require in-order matching of sends against
+//! posted receives by `(tag & mask)`. UCP implements this in software; so
+//! do we, with the same two-queue structure every MPI library uses:
+//! a posted-receive (expected) queue searched on message arrival, and an
+//! unexpected-message queue searched when a receive is posted.
+
+use std::collections::VecDeque;
+
+/// A tag with a match mask (`mask` bits set = must match; UCP's
+/// `ucp_tag_recv_nb` semantics). `TagMask::FULL` is an exact match,
+/// `TagMask::ANY` matches everything (MPI_ANY_TAG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagMask {
+    pub tag: u64,
+    pub mask: u64,
+}
+
+impl TagMask {
+    /// Exact-match on `tag`.
+    pub fn exact(tag: u64) -> Self {
+        TagMask {
+            tag,
+            mask: u64::MAX,
+        }
+    }
+
+    /// Match any tag.
+    pub const ANY: TagMask = TagMask { tag: 0, mask: 0 };
+
+    /// Does an arriving `tag` satisfy this receive?
+    pub fn matches(&self, tag: u64) -> bool {
+        (tag & self.mask) == (self.tag & self.mask)
+    }
+}
+
+/// A posted receive awaiting a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostedRecv<R> {
+    pub sel: TagMask,
+    pub req: R,
+}
+
+/// An arrived message awaiting a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnexpectedMsg<M> {
+    pub tag: u64,
+    pub msg: M,
+}
+
+/// The two-queue matcher. `R` identifies a receive request, `M` an arrived
+/// message.
+#[derive(Debug)]
+pub struct TagMatcher<R, M> {
+    expected: VecDeque<PostedRecv<R>>,
+    unexpected: VecDeque<UnexpectedMsg<M>>,
+}
+
+impl<R, M> Default for TagMatcher<R, M> {
+    fn default() -> Self {
+        TagMatcher {
+            expected: VecDeque::new(),
+            unexpected: VecDeque::new(),
+        }
+    }
+}
+
+impl<R, M> TagMatcher<R, M> {
+    /// Empty matcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Post a receive. If an unexpected message already matches, it is
+    /// returned (and consumed) instead of queueing the receive — matching
+    /// must respect arrival order among candidates.
+    pub fn post_recv(&mut self, sel: TagMask, req: R) -> Option<(R, M, u64)> {
+        if let Some(pos) = self.unexpected.iter().position(|u| sel.matches(u.tag)) {
+            let u = self.unexpected.remove(pos).expect("position valid");
+            return Some((req, u.msg, u.tag));
+        }
+        self.expected.push_back(PostedRecv { sel, req });
+        None
+    }
+
+    /// A message arrived. If a posted receive matches (oldest first), it is
+    /// returned (and consumed); otherwise the message queues as unexpected.
+    pub fn arrive(&mut self, tag: u64, msg: M) -> Option<(R, M, u64)> {
+        if let Some(pos) = self.expected.iter().position(|e| e.sel.matches(tag)) {
+            let e = self.expected.remove(pos).expect("position valid");
+            return Some((e.req, msg, tag));
+        }
+        self.unexpected.push_back(UnexpectedMsg { tag, msg });
+        None
+    }
+
+    /// Number of posted-but-unmatched receives.
+    pub fn expected_len(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// Number of arrived-but-unmatched messages.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn recv_first_then_message() {
+        let mut m: TagMatcher<&str, &str> = TagMatcher::new();
+        assert!(m.post_recv(TagMask::exact(7), "rx").is_none());
+        let (req, msg, tag) = m.arrive(7, "hello").expect("match");
+        assert_eq!((req, msg, tag), ("rx", "hello", 7));
+        assert_eq!(m.expected_len(), 0);
+    }
+
+    #[test]
+    fn message_first_then_recv() {
+        let mut m: TagMatcher<&str, &str> = TagMatcher::new();
+        assert!(m.arrive(9, "early").is_none());
+        assert_eq!(m.unexpected_len(), 1);
+        let (req, msg, _) = m.post_recv(TagMask::exact(9), "rx").expect("match");
+        assert_eq!((req, msg), ("rx", "early"));
+        assert_eq!(m.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn non_matching_tags_do_not_cross() {
+        let mut m: TagMatcher<&str, &str> = TagMatcher::new();
+        m.post_recv(TagMask::exact(1), "rx1");
+        assert!(m.arrive(2, "wrong").is_none());
+        assert_eq!(m.expected_len(), 1);
+        assert_eq!(m.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn wildcard_matches_anything() {
+        let mut m: TagMatcher<&str, &str> = TagMatcher::new();
+        m.post_recv(TagMask::ANY, "any");
+        let (req, ..) = m.arrive(0xDEAD_BEEF, "x").expect("wildcard match");
+        assert_eq!(req, "any");
+    }
+
+    #[test]
+    fn masked_match_ignores_low_bits() {
+        let mut m: TagMatcher<&str, &str> = TagMatcher::new();
+        m.post_recv(
+            TagMask {
+                tag: 0xAB00,
+                mask: 0xFF00,
+            },
+            "hi-byte",
+        );
+        let hit = m.arrive(0xAB42, "x");
+        assert!(hit.is_some(), "low bits must be ignored by the mask");
+    }
+
+    #[test]
+    fn fifo_order_among_equal_tags() {
+        let mut m: TagMatcher<u32, &str> = TagMatcher::new();
+        m.post_recv(TagMask::exact(5), 1);
+        m.post_recv(TagMask::exact(5), 2);
+        let (first, ..) = m.arrive(5, "a").unwrap();
+        let (second, ..) = m.arrive(5, "b").unwrap();
+        assert_eq!((first, second), (1, 2), "receives match oldest-first");
+    }
+
+    #[test]
+    fn unexpected_fifo_order() {
+        let mut m: TagMatcher<&str, u32> = TagMatcher::new();
+        m.arrive(5, 100);
+        m.arrive(5, 200);
+        let (_, msg, _) = m.post_recv(TagMask::exact(5), "rx").unwrap();
+        assert_eq!(msg, 100, "oldest unexpected message matches first");
+    }
+
+    proptest! {
+        #[test]
+        fn conservation(ops in proptest::collection::vec((any::<bool>(), 0u64..4), 0..200)) {
+            // Every op either adds to a queue or consumes one element from
+            // the other; totals must balance.
+            let mut m: TagMatcher<u64, u64> = TagMatcher::new();
+            let mut matched = 0usize;
+            let mut recvs = 0usize;
+            let mut msgs = 0usize;
+            for (i, (is_recv, tag)) in ops.iter().enumerate() {
+                if *is_recv {
+                    recvs += 1;
+                    if m.post_recv(TagMask::exact(*tag), i as u64).is_some() {
+                        matched += 1;
+                    }
+                } else {
+                    msgs += 1;
+                    if m.arrive(*tag, i as u64).is_some() {
+                        matched += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(m.expected_len(), recvs - matched);
+            prop_assert_eq!(m.unexpected_len(), msgs - matched);
+        }
+    }
+}

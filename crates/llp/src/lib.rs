@@ -1,0 +1,31 @@
+//! The low-level communication protocol (LLP): a UCT-like transport.
+//!
+//! §4.1 of the paper dissects `LLP_post` (UCX's `uct_ep_put_short` on the
+//! rc_mlx5 transport) into five steps, which [`Worker::post`] executes one
+//! by one on the simulated CPU clock:
+//!
+//! 1. **Prepare MD** — write the descriptor's control segment and memcpy
+//!    the inline payload (27.78 ns);
+//! 2. **store barrier** (`dmb st`) so the MD is visible before signalling
+//!    the NIC (17.33 ns);
+//! 3. **DoorBell-counter increment** so the NIC can speculatively read;
+//! 4. **store barrier** for the counter (21.07 ns);
+//! 5. **PIO copy** — 64-byte chunks into Device-GRE memory (94.25 ns per
+//!    chunk; the `dsb st` flush after it is unnecessary on TX2 and costs
+//!    zero by default).
+//!
+//! plus the *miscellaneous* function-call/branch overhead (14.99 ns) that
+//! the paper computes as `LLP_post − Σ(categories)`.
+//!
+//! `LLP_prog` ([`Worker::progress`]) dequeues one CQ entry; its only
+//! critical category is the load memory barrier.
+//!
+//! The worker keeps the software ring occupancy: when the transmit queue is
+//! full a post fails as a **busy post** (8.99 ns) and the caller must
+//! progress before retrying — the dequeue semantics of §4.2.
+
+pub mod costs;
+pub mod worker;
+
+pub use costs::{LlpCosts, Phase};
+pub use worker::{PostError, Worker};

@@ -1,0 +1,575 @@
+//! The UCT worker: one CPU core driving one NIC.
+
+use crate::costs::{LlpCosts, Phase};
+use bband_fabric::NodeId;
+use bband_nic::{Cluster, Cqe, CqeKind, Opcode, PostDescriptor, QpId, WrId};
+use bband_pcie::LinkTap;
+use bband_profiling::Profiler;
+use bband_sim::{CpuClock, Pcg64, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Why a post did not happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostError {
+    /// The transmit queue is full; progress the worker and retry — §4.2's
+    /// "busy post".
+    Busy,
+}
+
+/// One core's view of the transport: CPU clock, software ring bookkeeping,
+/// and the calibrated cost model.
+#[derive(Debug)]
+pub struct Worker {
+    node: NodeId,
+    /// This core's queue pair (its CQ receives this worker's completions).
+    qp: QpId,
+    cpu: CpuClock,
+    costs: LlpCosts,
+    rng: Pcg64,
+    /// Software transmit-ring occupancy. Polling the CQ is the dequeue
+    /// semantic (§4.2).
+    ring_occupancy: u32,
+    ring_capacity: u32,
+    next_wr: u64,
+    /// Completions popped from the CQ but not yet consumed by a filtered
+    /// wait (e.g. a send CQE seen while waiting for a receive).
+    stashed: VecDeque<Cqe>,
+    /// Diagnostics.
+    pub busy_posts: u64,
+    pub successful_posts: u64,
+    pub progress_calls: u64,
+    pub spin_polls: u64,
+}
+
+impl Worker {
+    /// Worker for `node` on queue pair 0 with calibrated costs.
+    pub fn new(node: NodeId, costs: LlpCosts, seed: u64) -> Self {
+        Worker::on_qp(node, QpId(0), costs, seed)
+    }
+
+    /// Worker for `node` on a specific queue pair (one QP per core).
+    pub fn on_qp(node: NodeId, qp: QpId, costs: LlpCosts, seed: u64) -> Self {
+        Worker {
+            node,
+            qp,
+            cpu: CpuClock::new(),
+            costs,
+            rng: Pcg64::new(seed ^ (0xC0DE << 4) ^ node.0 as u64 ^ ((qp.0 as u64) << 32)),
+            ring_occupancy: 0,
+            ring_capacity: 256,
+            next_wr: 0,
+            stashed: VecDeque::new(),
+            busy_posts: 0,
+            successful_posts: 0,
+            progress_calls: 0,
+            spin_polls: 0,
+        }
+    }
+
+    /// Cap the software ring (tests use small rings to exercise busy
+    /// posts deterministically).
+    pub fn set_ring_capacity(&mut self, cap: u32) {
+        assert!(cap > 0);
+        self.ring_capacity = cap;
+    }
+
+    /// This worker's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This worker's queue pair.
+    pub fn qp(&self) -> QpId {
+        self.qp
+    }
+
+    /// Local CPU time.
+    pub fn now(&self) -> SimTime {
+        self.cpu.now()
+    }
+
+    /// Mutable access to the clock (benchmarks charge their own loop
+    /// bookkeeping, e.g. the measurement update, through this).
+    pub fn cpu_mut(&mut self) -> &mut CpuClock {
+        &mut self.cpu
+    }
+
+    /// Current ring occupancy.
+    pub fn occupancy(&self) -> u32 {
+        self.ring_occupancy
+    }
+
+    /// Cost model in use.
+    pub fn costs(&self) -> &LlpCosts {
+        &self.costs
+    }
+
+    fn sample(&mut self, base: SimDuration) -> SimDuration {
+        self.costs.jitter.sample(base, &mut self.rng)
+    }
+
+    /// Execute the five phases of an `LLP_post` on the CPU clock and hand
+    /// the descriptor to the hardware. `uct_ep_put_short` when `opcode` is
+    /// [`Opcode::RdmaWrite`], `uct_ep_am_short` when [`Opcode::Send`].
+    pub fn post(
+        &mut self,
+        cluster: &mut Cluster,
+        opcode: Opcode,
+        dst: NodeId,
+        payload: u32,
+        signaled: bool,
+        tap: &mut dyn LinkTap,
+    ) -> Result<WrId, PostError> {
+        self.post_tagged(cluster, opcode, dst, payload, signaled, 0, tap)
+    }
+
+    /// [`Worker::post`] with an application tag (two-sided sends).
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_tagged(
+        &mut self,
+        cluster: &mut Cluster,
+        opcode: Opcode,
+        dst: NodeId,
+        payload: u32,
+        signaled: bool,
+        tag: u64,
+        tap: &mut dyn LinkTap,
+    ) -> Result<WrId, PostError> {
+        if self.ring_occupancy >= self.ring_capacity {
+            // Busy post: the quick occupancy check and bail-out.
+            let d = self.sample(self.costs.busy_post);
+            self.cpu.advance(d);
+            self.busy_posts += 1;
+            return Err(PostError::Busy);
+        }
+        let wr_id = WrId(self.next_wr);
+        self.next_wr += 1;
+        // Inline only up to the NIC's limit (256 B on the ConnectX-class
+        // default); larger payloads ride a PIO descriptor whose payload the
+        // NIC DMA-reads (§2 step 3).
+        let desc = PostDescriptor {
+            wr_id,
+            qp: self.qp,
+            dst_qp: QpId(0),
+            opcode,
+            dst,
+            payload,
+            inline: payload <= 256,
+            pio: true,
+            signaled,
+            tag,
+        };
+        let chunks = desc.pio_chunks();
+        // Phase 1: prepare the message descriptor (+ inline memcpy).
+        let d = self.sample(self.costs.md_setup);
+        self.cpu.advance(d);
+        // Phase 2: store barrier for the MD.
+        let d = self.sample(self.costs.barrier_md);
+        self.cpu.advance(d);
+        // Phases 3–4: DoorBell-counter increment + its barrier.
+        let d = self.sample(self.costs.barrier_dbc);
+        self.cpu.advance(d);
+        // Phase 5: PIO copy, one 64-byte chunk at a time, + optional flush.
+        for _ in 0..chunks {
+            let d = self.sample(self.costs.pio_copy_per_chunk);
+            self.cpu.advance(d);
+        }
+        if !self.costs.pio_flush.is_zero() {
+            let d = self.sample(self.costs.pio_flush);
+            self.cpu.advance(d);
+        }
+        // Misc: call overhead, branches.
+        let d = self.sample(self.costs.post_misc);
+        self.cpu.advance(d);
+        // OS noise occasionally lands on the post boundary.
+        let spike = self.costs.noise.sample(&mut self.rng);
+        if !spike.is_zero() {
+            self.cpu.advance(spike);
+        }
+        // Hand to hardware at the CPU's current instant.
+        cluster.post(self.cpu.now(), self.node, desc, tap);
+        self.ring_occupancy += 1;
+        self.successful_posts += 1;
+        Ok(wr_id)
+    }
+
+    /// Instrumented post: wraps exactly one phase (or the whole post) with
+    /// the UCS profiler, honouring §3's rule of measuring one component at
+    /// a time. Returns `Err(Busy)` without measuring if the ring is full.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_profiled(
+        &mut self,
+        cluster: &mut Cluster,
+        opcode: Opcode,
+        dst: NodeId,
+        payload: u32,
+        profiler: &mut Profiler,
+        measure: Option<Phase>,
+        tap: &mut dyn LinkTap,
+    ) -> Result<WrId, PostError> {
+        if self.ring_occupancy >= self.ring_capacity {
+            let d = self.sample(self.costs.busy_post);
+            self.cpu.advance(d);
+            self.busy_posts += 1;
+            return Err(PostError::Busy);
+        }
+        let wr_id = WrId(self.next_wr);
+        self.next_wr += 1;
+        let desc = PostDescriptor {
+            wr_id,
+            qp: self.qp,
+            dst_qp: QpId(0),
+            opcode,
+            dst,
+            payload,
+            inline: true,
+            pio: true,
+            signaled: true,
+            tag: 0,
+        };
+        let chunks = desc.pio_chunks();
+        let whole = if measure.is_none() {
+            Some(profiler.begin(&mut self.cpu))
+        } else {
+            None
+        };
+        let run_phase = |w: &mut Worker, phase: Phase, prof: &mut Profiler| {
+            let handle = (measure == Some(phase)).then(|| prof.begin(&mut w.cpu));
+            let reps = if phase == Phase::PioCopy { chunks } else { 1 };
+            for _ in 0..reps {
+                let d = w.sample(w.costs.phase_mean(phase));
+                w.cpu.advance(d);
+            }
+            if let Some(h) = handle {
+                prof.end(phase.region_name(), h, &mut w.cpu);
+            }
+        };
+        for phase in Phase::ALL {
+            run_phase(self, phase, profiler);
+        }
+        if let Some(h) = whole {
+            profiler.end("llp_post", h, &mut self.cpu);
+        }
+        cluster.post(self.cpu.now(), self.node, desc, tap);
+        self.ring_occupancy += 1;
+        self.successful_posts += 1;
+        Ok(wr_id)
+    }
+
+    /// Pre-post a receive buffer.
+    pub fn post_recv(&mut self, cluster: &mut Cluster, len: u32, tap: &mut dyn LinkTap) -> WrId {
+        let wr_id = WrId(self.next_wr);
+        self.next_wr += 1;
+        cluster.post_recv(self.cpu.now(), self.node, wr_id, len, tap);
+        wr_id
+    }
+
+    /// One `uct_worker_progress` call: pay the progress cost (dominated by
+    /// the load barrier), let hardware catch up to the CPU clock, and
+    /// dequeue at most one CQ entry.
+    pub fn progress(&mut self, cluster: &mut Cluster, tap: &mut dyn LinkTap) -> Option<Cqe> {
+        let d = self.sample(self.costs.prog);
+        self.cpu.advance(d);
+        self.progress_calls += 1;
+        cluster.advance_to(self.cpu.now(), tap);
+        if let Some(stashed) = self.stashed.pop_front() {
+            return Some(stashed);
+        }
+        let cqe = cluster.pop_cqe_visible(self.node, self.qp, self.cpu.now())?;
+        self.note_completion(&cqe);
+        Some(cqe)
+    }
+
+    fn note_completion(&mut self, cqe: &Cqe) {
+        if cqe.kind == CqeKind::SendComplete {
+            debug_assert!(self.ring_occupancy >= cqe.completes);
+            self.ring_occupancy -= cqe.completes;
+        }
+    }
+
+    /// Spin until a completion of `kind` arrives; other completions are
+    /// stashed for later waits. The CPU fast-forwards across dead time (a
+    /// real core burns the same wall-clock spinning on the CQ), then pays
+    /// exactly one successful progress call — the `LLP_prog` the latency
+    /// model charges.
+    pub fn wait(&mut self, cluster: &mut Cluster, kind: CqeKind, tap: &mut dyn LinkTap) -> Cqe {
+        // Check already-stashed completions first.
+        if let Some(pos) = self.stashed.iter().position(|c| c.kind == kind) {
+            let cqe = self.stashed.remove(pos).expect("position valid");
+            return cqe;
+        }
+        loop {
+            cluster.advance_to(self.cpu.now(), tap);
+            // Drain whatever is visible right now.
+            while let Some(cqe) = cluster.pop_cqe_visible(self.node, self.qp, self.cpu.now()) {
+                self.note_completion(&cqe);
+                if cqe.kind == kind {
+                    // The successful poll that observed it.
+                    let d = self.sample(self.costs.prog);
+                    self.cpu.advance(d);
+                    self.progress_calls += 1;
+                    return cqe;
+                }
+                self.stashed.push_back(cqe);
+            }
+            // Nothing observable yet: spin forward to the earliest instant
+            // something could change — a pending hardware event or an
+            // already-written CQE becoming visible.
+            let hw = cluster.next_event_time();
+            let vis = cluster.next_cqe_visible_at(self.node, self.qp);
+            let next = match (hw, vis) {
+                (Some(a), Some(b)) => Some(if a <= b { a } else { b }),
+                (a, b) => a.or(b),
+            };
+            match next {
+                Some(t) => {
+                    // Count the failed polls the core burned while waiting.
+                    let wait = t.saturating_since(self.cpu.now());
+                    self.spin_polls += wait.as_ps() / self.costs.prog.as_ps().max(1);
+                    self.cpu.advance_to(t);
+                }
+                None => panic!(
+                    "deadlock: waiting for a {kind:?} completion on {:?} with no pending hardware",
+                    self.node
+                ),
+            }
+        }
+    }
+
+    /// Discard stashed completions that no wait will ever consume (their
+    /// ring accounting already happened when they were dequeued). Benchmark
+    /// loops that ignore send completions call this once per iteration, at
+    /// zero cost — the real dequeue work was already charged by the
+    /// progress/wait call that popped them.
+    pub fn clear_stashed(&mut self) {
+        self.stashed.clear();
+    }
+
+    /// Progress until the ring has room (used by benchmark loops after a
+    /// busy post).
+    pub fn progress_until_room(&mut self, cluster: &mut Cluster, tap: &mut dyn LinkTap) {
+        while self.ring_occupancy >= self.ring_capacity {
+            if self.progress(cluster, tap).is_some() {
+                continue;
+            }
+            if let Some(t) = cluster.next_event_time() {
+                self.cpu.advance_to(t);
+            } else {
+                panic!("deadlock: ring full with no pending hardware");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bband_pcie::NullTap;
+
+    fn setup() -> (Cluster, Worker, Worker) {
+        let cluster = Cluster::two_node_paper(11).deterministic();
+        let w0 = Worker::new(NodeId(0), LlpCosts::default().deterministic(), 1);
+        let w1 = Worker::new(NodeId(1), LlpCosts::default().deterministic(), 2);
+        (cluster, w0, w1)
+    }
+
+    #[test]
+    fn post_costs_exactly_llp_post() {
+        let (mut cl, mut w, _) = setup();
+        let mut tap = NullTap;
+        let t0 = w.now();
+        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).unwrap();
+        let elapsed = w.now().since(t0).as_ns_f64();
+        assert!(
+            (elapsed - 175.42).abs() < 0.001,
+            "LLP_post = {elapsed}, want 175.42"
+        );
+    }
+
+    #[test]
+    fn put_and_wait_completes() {
+        let (mut cl, mut w, _) = setup();
+        let mut tap = NullTap;
+        let wr = w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).unwrap();
+        let cqe = w.wait(&mut cl, CqeKind::SendComplete, &mut tap);
+        assert_eq!(cqe.wr_id, wr);
+        assert_eq!(w.occupancy(), 0);
+        assert!(cl.rc_never_stalled());
+    }
+
+    #[test]
+    fn ring_full_returns_busy_and_charges_busy_cost() {
+        let (mut cl, mut w, _) = setup();
+        let mut tap = NullTap;
+        w.set_ring_capacity(2);
+        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).unwrap();
+        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).unwrap();
+        let t0 = w.now();
+        let err = w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap);
+        assert_eq!(err, Err(PostError::Busy));
+        assert!((w.now().since(t0).as_ns_f64() - 8.99).abs() < 0.001);
+        assert_eq!(w.busy_posts, 1);
+        // Progressing makes room again.
+        w.progress_until_room(&mut cl, &mut tap);
+        assert!(w.occupancy() < 2);
+        assert!(w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).is_ok());
+    }
+
+    #[test]
+    fn progress_costs_llp_prog() {
+        let (mut cl, mut w, _) = setup();
+        let mut tap = NullTap;
+        let t0 = w.now();
+        let none = w.progress(&mut cl, &mut tap);
+        assert!(none.is_none());
+        assert!((w.now().since(t0).as_ns_f64() - 61.63).abs() < 0.001);
+    }
+
+    #[test]
+    fn send_recv_ping_completes_both_sides() {
+        let (mut cl, mut w0, mut w1) = setup();
+        let mut tap = NullTap;
+        let rwr = w1.post_recv(&mut cl, 64, &mut tap);
+        w0.post(&mut cl, Opcode::Send, NodeId(1), 8, true, &mut tap).unwrap();
+        let rx = w1.wait(&mut cl, CqeKind::RecvComplete, &mut tap);
+        assert_eq!(rx.wr_id, rwr);
+        assert_eq!(rx.payload, 8);
+        let tx = w0.wait(&mut cl, CqeKind::SendComplete, &mut tap);
+        assert_eq!(tx.kind, CqeKind::SendComplete);
+    }
+
+    #[test]
+    fn wait_stashes_foreign_completions() {
+        // Node 0 sends a ping and waits for the *pong receive*; its own
+        // send completion must be stashed, not lost.
+        let (mut cl, mut w0, mut w1) = setup();
+        let mut tap = NullTap;
+        w0.post_recv(&mut cl, 64, &mut tap);
+        w1.post_recv(&mut cl, 64, &mut tap);
+        w0.post(&mut cl, Opcode::Send, NodeId(1), 8, true, &mut tap).unwrap();
+        // Target receives and pongs.
+        w1.wait(&mut cl, CqeKind::RecvComplete, &mut tap);
+        w1.post(&mut cl, Opcode::Send, NodeId(0), 8, true, &mut tap).unwrap();
+        // Initiator waits for the pong: the ping's send CQE arrives first.
+        let rx = w0.wait(&mut cl, CqeKind::RecvComplete, &mut tap);
+        assert_eq!(rx.kind, CqeKind::RecvComplete);
+        // The stashed send completion is delivered by the next progress.
+        let stashed = w0.progress(&mut cl, &mut tap).expect("stashed send CQE");
+        assert_eq!(stashed.kind, CqeKind::SendComplete);
+    }
+
+    #[test]
+    fn profiled_post_measures_requested_phase_only() {
+        let (mut cl, mut w, _) = setup();
+        let mut prof = Profiler::new(3);
+        for _ in 0..200 {
+            let mut tap = NullTap;
+            w.post_profiled(
+                &mut cl,
+                Opcode::RdmaWrite,
+                NodeId(1),
+                8,
+                &mut prof,
+                Some(Phase::PioCopy),
+                &mut tap,
+            )
+            .unwrap();
+            w.wait(&mut cl, CqeKind::SendComplete, &mut tap);
+        }
+        let pio = prof.deducted_mean_ns(Phase::PioCopy.region_name()).unwrap();
+        assert!((pio - 94.25).abs() < 1.0, "PIO copy = {pio}");
+        assert!(prof.region("llp_post").is_none(), "total not measured");
+        assert!(prof.region(Phase::MdSetup.region_name()).is_none());
+    }
+
+    #[test]
+    fn profiled_post_total_recovers_llp_post() {
+        let (mut cl, mut w, _) = setup();
+        let mut prof = Profiler::new(4);
+        let mut tap = NullTap;
+        for _ in 0..200 {
+            w.post_profiled(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, &mut prof, None, &mut tap)
+                .unwrap();
+            w.wait(&mut cl, CqeKind::SendComplete, &mut tap);
+        }
+        let total = prof.deducted_mean_ns("llp_post").unwrap();
+        assert!((total - 175.42).abs() < 1.0, "LLP_post = {total}");
+    }
+
+    #[test]
+    fn unsignaled_ring_accounting_via_moderated_cqe() {
+        let (mut cl, mut w, _) = setup();
+        let mut tap = NullTap;
+        for _ in 0..3 {
+            w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, false, &mut tap).unwrap();
+        }
+        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).unwrap();
+        assert_eq!(w.occupancy(), 4);
+        let cqe = w.wait(&mut cl, CqeKind::SendComplete, &mut tap);
+        assert_eq!(cqe.completes, 4);
+        assert_eq!(w.occupancy(), 0, "one CQE frees all four slots");
+    }
+
+    #[test]
+    fn per_qp_completion_isolation() {
+        // Two cores (QPs) on the same node: each sees exactly its own
+        // completions, in order — no cross-talk through the shared NIC.
+        let mut cl = Cluster::two_node_paper(77).deterministic();
+        let mut tap = NullTap;
+        let mut wa = Worker::on_qp(
+            NodeId(0),
+            bband_nic::QpId(0),
+            LlpCosts::default().deterministic(),
+            1,
+        );
+        let mut wb = Worker::on_qp(
+            NodeId(0),
+            bband_nic::QpId(1),
+            LlpCosts::default().deterministic(),
+            2,
+        );
+        let mut a_wrs = Vec::new();
+        let mut b_wrs = Vec::new();
+        // Interleave posts from both cores (min-clock order).
+        for _ in 0..10 {
+            let (w, wrs) = if wa.now() <= wb.now() {
+                (&mut wa, &mut a_wrs)
+            } else {
+                (&mut wb, &mut b_wrs)
+            };
+            wrs.push(
+                w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap)
+                    .unwrap(),
+            );
+        }
+        let end = cl.run_until_idle(&mut tap);
+        wa.cpu_mut().advance_to(end);
+        wb.cpu_mut().advance_to(end);
+        let mut got_a = Vec::new();
+        while let Some(cqe) = wa.progress(&mut cl, &mut tap) {
+            got_a.push(cqe.wr_id);
+        }
+        let mut got_b = Vec::new();
+        while let Some(cqe) = wb.progress(&mut cl, &mut tap) {
+            got_b.push(cqe.wr_id);
+        }
+        assert_eq!(got_a, a_wrs, "QP 0 must see exactly its own CQEs");
+        assert_eq!(got_b, b_wrs, "QP 1 must see exactly its own CQEs");
+        assert_eq!(wa.occupancy(), 0);
+        assert_eq!(wb.occupancy(), 0);
+    }
+
+    #[test]
+    fn multi_chunk_post_pays_pio_per_chunk() {
+        let (mut cl, mut w, _) = setup();
+        let mut tap = NullTap;
+        let t0 = w.now();
+        // 100-byte inline payload: 3 chunks (32 B ctrl + 100 B).
+        w.post(&mut cl, Opcode::Send, NodeId(1), 100, true, &mut tap).unwrap();
+        let elapsed = w.now().since(t0).as_ns_f64();
+        assert!(
+            (elapsed - (175.42 + 2.0 * 94.25)).abs() < 0.001,
+            "3-chunk post = {elapsed}"
+        );
+    }
+}

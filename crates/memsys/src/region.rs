@@ -1,0 +1,443 @@
+//! Registered-memory map with virtual→physical translation.
+//!
+//! §2 step (3) of the paper: "the NIC will then fetch the payload from a
+//! *registered* memory region ... the virtual address has to be translated
+//! to its physical address before the NIC can perform DMA-reads". We model
+//! the registration table the verbs layer maintains: regions are registered
+//! with access flags, receive local/remote keys, and DMA accesses are
+//! validated against them — an access outside a registered region or with
+//! missing permissions is a hard error, as on real hardware.
+
+use crate::types::MemoryType;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Page size used for the simulated VA→PA mapping.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Key returned by registration; doubles as lkey and rkey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MrKey(pub u32);
+
+/// Minimal bitflags implementation so we stay within the allowed
+/// dependencies.
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $(const $flag:ident = $val:expr;)*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name($ty);
+
+        impl $name {
+            $(pub const $flag: $name = $name($val);)*
+
+            /// No permissions.
+            pub const fn empty() -> Self { $name(0) }
+            /// All permissions.
+            pub const fn all() -> Self { $name($($val |)* 0) }
+            /// True if every bit of `other` is set in `self`.
+            pub const fn contains(self, other: $name) -> bool {
+                (self.0 & other.0) == other.0
+            }
+            /// Union of two flag sets.
+            pub const fn union(self, other: $name) -> $name {
+                $name(self.0 | other.0)
+            }
+        }
+
+        impl core::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { self.union(rhs) }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// Access permissions for a registered region (verbs-style).
+    pub struct AccessFlags: u8 {
+        const LOCAL_READ = 0b0001;
+        const LOCAL_WRITE = 0b0010;
+        const REMOTE_READ = 0b0100;
+        const REMOTE_WRITE = 0b1000;
+    }
+}
+
+/// Errors raised by registration and DMA validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    /// Registration of a zero-length region.
+    EmptyRegion,
+    /// Registration overlapping an existing region.
+    Overlap { existing: MrKey },
+    /// DMA/access with an unknown key.
+    UnknownKey(MrKey),
+    /// Access outside the bounds of the keyed region.
+    OutOfBounds {
+        key: MrKey,
+        addr: u64,
+        len: usize,
+    },
+    /// Access lacking a required permission.
+    PermissionDenied {
+        key: MrKey,
+        required: &'static str,
+    },
+    /// Deregistration of an unknown key.
+    NotRegistered(MrKey),
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::EmptyRegion => write!(f, "cannot register an empty region"),
+            RegionError::Overlap { existing } => {
+                write!(f, "region overlaps already-registered {existing:?}")
+            }
+            RegionError::UnknownKey(k) => write!(f, "unknown memory key {k:?}"),
+            RegionError::OutOfBounds { key, addr, len } => {
+                write!(f, "access [{addr:#x}, +{len}) outside region {key:?}")
+            }
+            RegionError::PermissionDenied { key, required } => {
+                write!(f, "region {key:?} lacks {required} permission")
+            }
+            RegionError::NotRegistered(k) => write!(f, "key {k:?} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+#[derive(Debug, Clone)]
+struct Region {
+    start: u64,
+    len: u64,
+    flags: AccessFlags,
+    mem_type: MemoryType,
+    /// Physical frame backing each page of the region.
+    frames: Vec<u64>,
+}
+
+/// The registration table plus a trivial physical-frame allocator.
+#[derive(Debug, Default)]
+pub struct MemoryMap {
+    /// Regions ordered by start address, for overlap checks.
+    by_start: BTreeMap<u64, MrKey>,
+    regions: BTreeMap<MrKey, Region>,
+    next_key: u32,
+    next_frame: u64,
+}
+
+impl MemoryMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `[start, start+len)` with the given permissions, pinning
+    /// pages and assigning physical frames. Returns the region key.
+    pub fn register(
+        &mut self,
+        start: u64,
+        len: u64,
+        flags: AccessFlags,
+        mem_type: MemoryType,
+    ) -> Result<MrKey, RegionError> {
+        if len == 0 {
+            return Err(RegionError::EmptyRegion);
+        }
+        // Overlap check against the predecessor and successor regions.
+        if let Some((_, &key)) = self.by_start.range(..=start).next_back() {
+            let r = &self.regions[&key];
+            if start < r.start + r.len {
+                return Err(RegionError::Overlap { existing: key });
+            }
+        }
+        if let Some((&next_start, &key)) = self.by_start.range(start..).next() {
+            if next_start < start + len {
+                return Err(RegionError::Overlap { existing: key });
+            }
+        }
+        let pages = compute_pages(start, len);
+        let frames: Vec<u64> = (0..pages)
+            .map(|i| {
+                let f = self.next_frame + i;
+                f * PAGE_SIZE
+            })
+            .collect();
+        self.next_frame += pages;
+        let key = MrKey(self.next_key);
+        self.next_key += 1;
+        self.by_start.insert(start, key);
+        self.regions.insert(
+            key,
+            Region {
+                start,
+                len,
+                flags,
+                mem_type,
+                frames,
+            },
+        );
+        Ok(key)
+    }
+
+    /// Remove a registration (unpin).
+    pub fn deregister(&mut self, key: MrKey) -> Result<(), RegionError> {
+        let region = self
+            .regions
+            .remove(&key)
+            .ok_or(RegionError::NotRegistered(key))?;
+        self.by_start.remove(&region.start);
+        Ok(())
+    }
+
+    /// Validate a DMA read (NIC fetching payload) and translate its first
+    /// byte to a physical address.
+    pub fn validate_dma_read(
+        &self,
+        key: MrKey,
+        addr: u64,
+        len: usize,
+    ) -> Result<u64, RegionError> {
+        self.validate(key, addr, len, AccessFlags::LOCAL_READ, "local-read")
+    }
+
+    /// Validate a DMA write (RC writing payload/CQE into host memory) and
+    /// translate.
+    pub fn validate_dma_write(
+        &self,
+        key: MrKey,
+        addr: u64,
+        len: usize,
+    ) -> Result<u64, RegionError> {
+        self.validate(key, addr, len, AccessFlags::LOCAL_WRITE, "local-write")
+    }
+
+    /// Validate a remote RDMA write arriving from the wire.
+    pub fn validate_remote_write(
+        &self,
+        key: MrKey,
+        addr: u64,
+        len: usize,
+    ) -> Result<u64, RegionError> {
+        self.validate(key, addr, len, AccessFlags::REMOTE_WRITE, "remote-write")
+    }
+
+    fn validate(
+        &self,
+        key: MrKey,
+        addr: u64,
+        len: usize,
+        needed: AccessFlags,
+        needed_name: &'static str,
+    ) -> Result<u64, RegionError> {
+        let r = self.regions.get(&key).ok_or(RegionError::UnknownKey(key))?;
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(RegionError::OutOfBounds { key, addr, len })?;
+        if addr < r.start || end > r.start + r.len {
+            return Err(RegionError::OutOfBounds { key, addr, len });
+        }
+        if !r.flags.contains(needed) {
+            return Err(RegionError::PermissionDenied {
+                key,
+                required: needed_name,
+            });
+        }
+        Ok(self.translate_within(r, addr))
+    }
+
+    /// VA→PA for a validated address.
+    fn translate_within(&self, r: &Region, addr: u64) -> u64 {
+        let page_index = (addr - (r.start & !(PAGE_SIZE - 1))) / PAGE_SIZE;
+        let offset = addr & (PAGE_SIZE - 1);
+        r.frames[page_index as usize] + offset
+    }
+
+    /// Memory type of a registered region.
+    pub fn mem_type(&self, key: MrKey) -> Result<MemoryType, RegionError> {
+        self.regions
+            .get(&key)
+            .map(|r| r.mem_type)
+            .ok_or(RegionError::UnknownKey(key))
+    }
+
+    /// Number of live registrations.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// Number of pages spanned by `[start, start+len)`.
+fn compute_pages(start: u64, len: u64) -> u64 {
+    let first = start / PAGE_SIZE;
+    let last = (start + len - 1) / PAGE_SIZE;
+    last - first + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn map_with_region(start: u64, len: u64) -> (MemoryMap, MrKey) {
+        let mut m = MemoryMap::new();
+        let k = m
+            .register(start, len, AccessFlags::all(), MemoryType::Normal)
+            .unwrap();
+        (m, k)
+    }
+
+    #[test]
+    fn register_and_translate() {
+        let (m, k) = map_with_region(0x1000, 0x2000);
+        let pa = m.validate_dma_read(k, 0x1800, 8).unwrap();
+        // offset within page preserved
+        assert_eq!(pa & (PAGE_SIZE - 1), 0x800);
+    }
+
+    #[test]
+    fn contiguous_va_maps_to_per_page_frames() {
+        let (m, k) = map_with_region(0x1000, 0x2000);
+        let pa0 = m.validate_dma_read(k, 0x1000, 8).unwrap();
+        let pa1 = m.validate_dma_read(k, 0x2000, 8).unwrap();
+        assert_ne!(pa0 & !(PAGE_SIZE - 1), pa1 & !(PAGE_SIZE - 1));
+    }
+
+    #[test]
+    fn empty_region_rejected() {
+        let mut m = MemoryMap::new();
+        assert_eq!(
+            m.register(0x1000, 0, AccessFlags::all(), MemoryType::Normal),
+            Err(RegionError::EmptyRegion)
+        );
+    }
+
+    #[test]
+    fn overlap_rejected_both_directions() {
+        let (mut m, k) = map_with_region(0x1000, 0x1000);
+        // overlapping from below
+        let err = m
+            .register(0x800, 0x900, AccessFlags::all(), MemoryType::Normal)
+            .unwrap_err();
+        assert_eq!(err, RegionError::Overlap { existing: k });
+        // overlapping from above
+        let err = m
+            .register(0x1fff, 0x10, AccessFlags::all(), MemoryType::Normal)
+            .unwrap_err();
+        assert_eq!(err, RegionError::Overlap { existing: k });
+        // adjacent is fine
+        assert!(m
+            .register(0x2000, 0x10, AccessFlags::all(), MemoryType::Normal)
+            .is_ok());
+    }
+
+    #[test]
+    fn out_of_bounds_dma_fails() {
+        let (m, k) = map_with_region(0x1000, 0x100);
+        assert!(matches!(
+            m.validate_dma_read(k, 0x10f9, 8),
+            Err(RegionError::OutOfBounds { .. })
+        ));
+        assert!(m.validate_dma_read(k, 0x10f8, 8).is_ok());
+    }
+
+    #[test]
+    fn permission_checks() {
+        let mut m = MemoryMap::new();
+        let read_only = m
+            .register(
+                0x1000,
+                0x100,
+                AccessFlags::LOCAL_READ,
+                MemoryType::Normal,
+            )
+            .unwrap();
+        assert!(m.validate_dma_read(read_only, 0x1000, 8).is_ok());
+        assert!(matches!(
+            m.validate_dma_write(read_only, 0x1000, 8),
+            Err(RegionError::PermissionDenied { .. })
+        ));
+        assert!(matches!(
+            m.validate_remote_write(read_only, 0x1000, 8),
+            Err(RegionError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_key_fails() {
+        let m = MemoryMap::new();
+        assert_eq!(
+            m.validate_dma_read(MrKey(9), 0x0, 1),
+            Err(RegionError::UnknownKey(MrKey(9)))
+        );
+    }
+
+    #[test]
+    fn deregister_removes_region() {
+        let (mut m, k) = map_with_region(0x1000, 0x100);
+        assert_eq!(m.len(), 1);
+        m.deregister(k).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.deregister(k), Err(RegionError::NotRegistered(k)));
+        // Space can be re-registered after deregistration.
+        assert!(m
+            .register(0x1000, 0x100, AccessFlags::all(), MemoryType::Normal)
+            .is_ok());
+    }
+
+    #[test]
+    fn flags_algebra() {
+        let rw = AccessFlags::LOCAL_READ | AccessFlags::LOCAL_WRITE;
+        assert!(rw.contains(AccessFlags::LOCAL_READ));
+        assert!(!rw.contains(AccessFlags::REMOTE_WRITE));
+        assert!(AccessFlags::all().contains(rw));
+        assert!(!AccessFlags::empty().contains(AccessFlags::LOCAL_READ));
+    }
+
+    #[test]
+    fn page_count_math() {
+        assert_eq!(compute_pages(0, 1), 1);
+        assert_eq!(compute_pages(0, PAGE_SIZE), 1);
+        assert_eq!(compute_pages(0, PAGE_SIZE + 1), 2);
+        assert_eq!(compute_pages(PAGE_SIZE - 1, 2), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn any_in_bounds_access_validates(
+            start_page in 1u64..1000,
+            len in 1u64..(PAGE_SIZE * 4),
+            off in 0u64..(PAGE_SIZE * 4),
+            alen in 1usize..64,
+        ) {
+            let start = start_page * PAGE_SIZE;
+            let (m, k) = map_with_region(start, len);
+            let addr = start + off;
+            let fits = off + alen as u64 <= len;
+            let res = m.validate_dma_read(k, addr, alen);
+            prop_assert_eq!(res.is_ok(), fits);
+        }
+
+        #[test]
+        fn disjoint_regions_register(
+            lens in proptest::collection::vec(1u64..0x1000, 1..20),
+        ) {
+            let mut m = MemoryMap::new();
+            let mut cursor = 0x1_0000u64;
+            for len in lens {
+                prop_assert!(m.register(cursor, len, AccessFlags::all(), MemoryType::Normal).is_ok());
+                cursor += len + PAGE_SIZE; // leave a gap
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! UCP-level latency across message sizes: the eager-vs-rendezvous
+//! protocol trade-off.
+//!
+//! Eager sends ship the payload immediately but pay two bounce-buffer
+//! copies beyond the inline limit; rendezvous pays an RTS/CTS handshake
+//! (about 1.5 round trips of control traffic) to transfer zero-copy.
+//! UCX picks a switchover threshold per transport; this benchmark measures
+//! both protocols across sizes on the simulated stack and locates the
+//! crossover empirically.
+
+use crate::common::StackConfig;
+use bband_fabric::NodeId;
+use bband_hlp::{TagMask, UcpCosts, UcpEvent, UcpWorker};
+use bband_sim::SimDuration;
+
+/// Configuration for one UCP latency measurement.
+#[derive(Debug, Clone)]
+pub struct UcpLatConfig {
+    pub stack: StackConfig,
+    /// Payload size in bytes.
+    pub payload: u32,
+    /// Rendezvous threshold: `u32::MAX` forces eager, `0` forces
+    /// rendezvous.
+    pub rndv_threshold: u32,
+    pub iterations: u64,
+    pub warmup: u64,
+}
+
+impl Default for UcpLatConfig {
+    fn default() -> Self {
+        UcpLatConfig {
+            stack: StackConfig::default(),
+            payload: 8,
+            rndv_threshold: 8192,
+            iterations: 200,
+            warmup: 8,
+        }
+    }
+}
+
+/// Mean one-way latency of a tagged UCP send of the configured size.
+pub fn ucp_latency(cfg: &UcpLatConfig) -> SimDuration {
+    let mut cluster = cfg.stack.build_cluster();
+    let mut tap = bband_pcie::NullTap;
+    let mk = |node: u32, _seed: u64| {
+        let mut costs = UcpCosts::default().unmoderated();
+        costs.signal_period = 1;
+        let mut w = UcpWorker::new(cfg.stack.build_worker(node), costs);
+        w.rndv_threshold = cfg.rndv_threshold;
+        w
+    };
+    let mut u0 = mk(0, 1);
+    let mut u1 = mk(1, 2);
+    u0.replenish_rx_pool(&mut cluster, &mut tap);
+    u1.replenish_rx_pool(&mut cluster, &mut tap);
+
+    let mut total = SimDuration::ZERO;
+    let mut measured = 0u64;
+    for iter in 0..(cfg.warmup + cfg.iterations) {
+        let tag = (iter & 0xFFFF) as u64;
+        let rx = u1.tag_recv_nb(TagMask::exact(tag));
+        let t0 = u0.now();
+        u0.tag_send_nb(&mut cluster, NodeId(1), cfg.payload, tag, &mut tap);
+        // Drive both sides until the receive completes (rendezvous needs
+        // the sender progressing to answer CTS).
+        let rx_at = 'outer: loop {
+            for ev in u1.worker_progress(&mut cluster, &mut tap) {
+                if let UcpEvent::RecvComplete { req, .. } = ev {
+                    if req == rx {
+                        break 'outer u1.now();
+                    }
+                }
+            }
+            let _ = u0.worker_progress(&mut cluster, &mut tap);
+            if let Some(t) = cluster.next_event_time() {
+                u0.uct_mut().cpu_mut().advance_to(t);
+                u1.uct_mut().cpu_mut().advance_to(t);
+            }
+        };
+        // Retire the send side before the next iteration.
+        u0.flush_sends(&mut cluster, &mut tap);
+        if iter >= cfg.warmup {
+            total += rx_at.saturating_since(t0);
+            measured += 1;
+        }
+        // Keep the two clocks together for the next round.
+        let sync = u0.now().max_of(u1.now());
+        u0.uct_mut().cpu_mut().advance_to(sync);
+        u1.uct_mut().cpu_mut().advance_to(sync);
+    }
+    total / measured.max(1)
+}
+
+/// Measure both protocols across sizes; returns
+/// `(payload, eager_ns, rndv_ns)` rows.
+pub fn eager_rndv_sweep(stack: &StackConfig, sizes: &[u32]) -> Vec<(u32, f64, f64)> {
+    sizes
+        .iter()
+        .map(|&payload| {
+            let eager = ucp_latency(&UcpLatConfig {
+                stack: stack.clone(),
+                payload,
+                rndv_threshold: u32::MAX,
+                iterations: 40,
+                warmup: 4,
+                ..Default::default()
+            });
+            let rndv = ucp_latency(&UcpLatConfig {
+                stack: stack.clone(),
+                payload,
+                rndv_threshold: 0,
+                iterations: 40,
+                warmup: 4,
+                ..Default::default()
+            });
+            (payload, eager.as_ns_f64(), rndv.as_ns_f64())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(payload: u32, threshold: u32) -> UcpLatConfig {
+        UcpLatConfig {
+            stack: StackConfig::validation(),
+            payload,
+            rndv_threshold: threshold,
+            iterations: 30,
+            warmup: 4,
+        }
+    }
+
+    #[test]
+    fn small_eager_latency_is_near_the_uct_model() {
+        // 8 bytes, eager: the UCT latency (1135.8) plus the UCP layers'
+        // callback/dispatch overheads.
+        let l = ucp_latency(&det(8, u32::MAX)).as_ns_f64();
+        assert!(
+            (1135.0..1500.0).contains(&l),
+            "8-byte UCP eager latency {l}"
+        );
+    }
+
+    #[test]
+    fn rendezvous_loses_at_small_sizes() {
+        // The handshake (≈1.5 control round trips) dwarfs two copies of a
+        // few KiB.
+        let eager = ucp_latency(&det(4096, u32::MAX)).as_ns_f64();
+        let rndv = ucp_latency(&det(4096, 0)).as_ns_f64();
+        assert!(
+            rndv > eager + 1_000.0,
+            "4 KiB: rndv {rndv} should trail eager {eager} by the handshake"
+        );
+    }
+
+    #[test]
+    fn rendezvous_wins_at_large_sizes() {
+        // Two 256 KiB copies at 0.05 ns/B ≈ 26 µs of pure memcpy; the
+        // handshake is ~3 µs.
+        let eager = ucp_latency(&det(256 * 1024, u32::MAX)).as_ns_f64();
+        let rndv = ucp_latency(&det(256 * 1024, 0)).as_ns_f64();
+        assert!(
+            rndv < eager,
+            "256 KiB: rndv {rndv} should beat eager {eager}"
+        );
+    }
+
+    #[test]
+    fn crossover_is_between_4k_and_256k() {
+        let rows = eager_rndv_sweep(
+            &StackConfig::validation(),
+            &[4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024],
+        );
+        let first_rndv_win = rows.iter().find(|(_, e, r)| r < e).map(|(p, ..)| *p);
+        let x = first_rndv_win.expect("rendezvous must win somewhere in range");
+        assert!(
+            (8 * 1024..=256 * 1024).contains(&x),
+            "crossover at {x} bytes"
+        );
+        // And eager must win at the low end.
+        assert!(rows[0].1 < rows[0].2, "eager wins at 4 KiB");
+    }
+}

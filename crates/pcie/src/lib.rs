@@ -1,0 +1,32 @@
+//! PCIe fabric model.
+//!
+//! §2 of the paper ("Background") describes exactly the PCIe machinery this
+//! crate reproduces:
+//!
+//! * the **transaction layer** with Memory Write (MWr) and Memory Read
+//!   (MRd) TLPs, the latter paired with a Completion-with-Data (CplD) from
+//!   the target endpoint ([`tlp`]);
+//! * the **data-link layer** with ACK/NACK DLLPs and the credit-based flow
+//!   control that lets PCIe keep multiple transactions outstanding, with
+//!   credits replenished by UpdateFC DLLPs ([`credit`]);
+//! * the **root complex** connecting the processor and memory to the
+//!   fabric, which issues transactions "as long as it has enough credits"
+//!   ([`rc`]);
+//! * the **wire** between RC and NIC, whose one-way 64-byte traversal the
+//!   paper measures as `PCIe` = 137.49 ns ([`link`]).
+//!
+//! The [`link::LinkTap`] trait is the seam where the Lecroy analyzer sits in
+//! the paper's Figure 3 — "just before the NIC" — implemented passively by
+//! the `bband-analyzer` crate.
+
+pub mod credit;
+pub mod link;
+pub mod rc;
+pub mod replay;
+pub mod tlp;
+
+pub use credit::{CreditError, FlowControl};
+pub use link::{LinkDirection, LinkModel, LinkTap, NullTap};
+pub use rc::{RcAction, RootComplex};
+pub use replay::{DllReceiver, LossyLink, ReplayBuffer, RxVerdict, SeqNum};
+pub use tlp::{Dllp, Tlp, TlpId, TlpIdGen, TlpKind, TlpPurpose, DLLP_WIRE_BYTES, TLP_OVERHEAD_BYTES};

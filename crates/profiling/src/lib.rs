@@ -1,0 +1,22 @@
+//! UCS-style profiling infrastructure.
+//!
+//! §3 of the paper: *"To measure time spent in the CPU, we instrument
+//! relevant code with UCX's UCS profiling infrastructure, which internally
+//! reads the `cntvct_el0` register timer preceded by an `isb` for aarch64.
+//! The mean overhead of this infrastructure is 49.69 nanoseconds (a standard
+//! deviation of 1.48 for 1000 samples); we report software measurements in
+//! the rest of the paper after removing this overhead. Each reported CPU or
+//! PCIe analyzer measurement is a mean of at least 100 samples."*
+//!
+//! We reproduce the methodology, not just the numbers: the simulated
+//! profiler *costs virtual CPU time* (sampled around the calibrated 49.69 ns
+//! mean) every time a region is measured, inflating the raw samples exactly
+//! as the real `isb` + register read does, and the reporting side subtracts
+//! the calibrated overhead mean — so a test can check that the deduction
+//! recovers the true region cost.
+
+pub mod profiler;
+pub mod stats;
+
+pub use profiler::{Profiler, RegionHandle};
+pub use stats::SampleSet;

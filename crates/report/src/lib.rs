@@ -1,0 +1,24 @@
+//! Table/figure renderers for the reproduction harness.
+//!
+//! Everything the paper presents is one of four shapes:
+//!
+//! * a **table** of named times (Table 1) — [`table::render_table1`];
+//! * a **percent bar** (Figures 4, 8, 10, 11, 12, 14, 15, 16) —
+//!   [`bars::render_bar`];
+//! * a **histogram** (Figure 7) — [`hist::render_histogram`];
+//! * a **set of curves** (Figure 17) — [`curves::render_curves`];
+//!
+//! plus the Figure 6 trace listing, which `bband-analyzer` renders itself.
+//! All renderers produce plain text (terminal-friendly) and CSV.
+
+pub mod bars;
+pub mod curves;
+pub mod export;
+pub mod hist;
+pub mod table;
+
+pub use bars::render_bar;
+pub use curves::render_curves;
+pub use hist::render_histogram;
+pub use export::{breakdown_json, curves_json, distribution_json, to_json};
+pub use table::render_table1;

@@ -1,0 +1,219 @@
+//! Jitter and OS-noise models for calibrated component costs.
+//!
+//! The paper's Figure 7 shows the distribution of the observed injection
+//! overhead: mean 282.33 ns, median 266.30 ns, minimum 201.30 ns, standard
+//! deviation ≈ 58.5 ns — and a maximum of 34,951.7 ns, four orders of
+//! magnitude above the mean, caused by rare interference (scheduler ticks,
+//! SMIs, cache/TLB misses). Two observations shape the model:
+//!
+//! 1. the bulk is right-skewed with a hard floor a bit below the median
+//!    (the fastest possible execution of the code path), which a floored
+//!    log-normal captures well;
+//! 2. the tail is a separate, rare spike process, not the same distribution
+//!    stretched — so we superimpose Bernoulli "OS noise" spikes.
+
+use crate::rng::Pcg64;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How a calibrated base cost is perturbed per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Jitter {
+    /// No jitter: every sample is exactly the base cost. Hardware-pipeline
+    /// latencies in validation runs use this so model-vs-simulation error is
+    /// attributable to structure, not noise.
+    Fixed,
+    /// Floored log-normal: `max(floor_frac * base, base * exp(sigma*N(0,1)) / k)`
+    /// where `k = exp(sigma^2 / 2)` recenters the *mean* on `base` so that
+    /// calibrated constants stay means, as in the paper's tables.
+    LogNormal {
+        /// Log-space standard deviation (≈ relative sigma for small values).
+        sigma: f64,
+        /// Hard lower bound as a fraction of base (fastest possible run).
+        floor_frac: f64,
+    },
+}
+
+impl Jitter {
+    /// CPU-side software cost jitter calibrated so that the injection-
+    /// overhead sum reproduces Figure 7's spread: per-component σ_rel 0.25
+    /// gives σ ≈ 48 ns on the ~296 ns sum (the paper observes 58.5), and
+    /// the 0.70 floor gives a minimum near 207 ns (the paper: 201.3).
+    pub const fn cpu_default() -> Jitter {
+        Jitter::LogNormal {
+            sigma: 0.25,
+            floor_frac: 0.70,
+        }
+    }
+
+    /// Hardware-path (PCIe / wire / switch) jitter: much tighter.
+    pub const fn hw_default() -> Jitter {
+        Jitter::LogNormal {
+            sigma: 0.04,
+            floor_frac: 0.90,
+        }
+    }
+
+    /// Draw one sample of a cost whose calibrated mean is `base`.
+    pub fn sample(&self, base: SimDuration, rng: &mut Pcg64) -> SimDuration {
+        match *self {
+            Jitter::Fixed => base,
+            Jitter::LogNormal { sigma, floor_frac } => {
+                debug_assert!((0.0..=1.0).contains(&floor_frac));
+                let mean_correction = (sigma * sigma / 2.0).exp();
+                let raw = rng.next_lognormal(base.as_ns_f64() / mean_correction, sigma);
+                let floored = raw.max(base.as_ns_f64() * floor_frac);
+                SimDuration::from_ns_f64(floored)
+            }
+        }
+    }
+}
+
+/// Rare large interference spikes superimposed on CPU-side costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSpike {
+    /// Per-sample probability of a spike.
+    pub probability: f64,
+    /// Spike magnitude is uniform in `[min, max]`.
+    pub min: SimDuration,
+    pub max: SimDuration,
+}
+
+impl NoiseSpike {
+    /// No spikes at all.
+    pub const OFF: NoiseSpike = NoiseSpike {
+        probability: 0.0,
+        min: SimDuration::ZERO,
+        max: SimDuration::ZERO,
+    };
+
+    /// Default calibrated to the paper's Figure 7 tail: spikes on the order
+    /// of tens of microseconds, about one per ten thousand samples. (The
+    /// paper's single 34.9 µs maximum against σ = 58.5 implies an even
+    /// rarer process on its hardware; at our default run lengths this rate
+    /// makes the tail reliably visible without drowning the bulk.)
+    pub fn os_default() -> NoiseSpike {
+        NoiseSpike {
+            probability: 1.0e-4,
+            min: SimDuration::from_us(5),
+            max: SimDuration::from_us(35),
+        }
+    }
+
+    /// Draw the spike contribution for one sample (usually zero).
+    pub fn sample(&self, rng: &mut Pcg64) -> SimDuration {
+        if self.probability <= 0.0 || !rng.next_bool(self.probability) {
+            return SimDuration::ZERO;
+        }
+        let span = self.max.as_ps().saturating_sub(self.min.as_ps());
+        let extra = if span == 0 { 0 } else { rng.next_below(span + 1) };
+        SimDuration::from_ps(self.min.as_ps() + extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_ns(samples: &[SimDuration]) -> f64 {
+        samples.iter().map(|d| d.as_ns_f64()).sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn fixed_jitter_is_identity() {
+        let mut rng = Pcg64::new(1);
+        let base = SimDuration::from_ns_f64(175.42);
+        for _ in 0..100 {
+            assert_eq!(Jitter::Fixed.sample(base, &mut rng), base);
+        }
+    }
+
+    #[test]
+    fn lognormal_preserves_mean() {
+        let mut rng = Pcg64::new(5);
+        let base = SimDuration::from_ns_f64(175.42);
+        let j = Jitter::cpu_default();
+        let samples: Vec<SimDuration> = (0..200_000).map(|_| j.sample(base, &mut rng)).collect();
+        let mean = mean_ns(&samples);
+        assert!(
+            (mean - 175.42).abs() / 175.42 < 0.02,
+            "jittered mean drifted from calibrated base: {mean}"
+        );
+    }
+
+    #[test]
+    fn lognormal_respects_floor() {
+        let mut rng = Pcg64::new(6);
+        let base = SimDuration::from_ns_f64(100.0);
+        let j = Jitter::LogNormal {
+            sigma: 0.5,
+            floor_frac: 0.8,
+        };
+        for _ in 0..50_000 {
+            let s = j.sample(base, &mut rng);
+            assert!(s.as_ns_f64() >= 80.0 - 1e-9, "sample below floor: {s}");
+        }
+    }
+
+    #[test]
+    fn lognormal_is_right_skewed() {
+        // Median below mean, as in the paper's Figure 7
+        // (median 266.30 < mean 282.33).
+        let mut rng = Pcg64::new(8);
+        let base = SimDuration::from_ns_f64(282.33);
+        let j = Jitter::cpu_default();
+        let mut samples: Vec<f64> = (0..100_001)
+            .map(|_| j.sample(base, &mut rng).as_ns_f64())
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(
+            median < mean,
+            "expected right skew, got median {median} >= mean {mean}"
+        );
+    }
+
+    #[test]
+    fn noise_spikes_are_rare_and_bounded() {
+        let mut rng = Pcg64::new(11);
+        let n = 500_000;
+        let spike = NoiseSpike::os_default();
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let s = spike.sample(&mut rng);
+            if !s.is_zero() {
+                hits += 1;
+                assert!(s >= spike.min && s <= spike.max);
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!(
+            (rate - 1.0e-4).abs() < 0.6e-4,
+            "spike rate off: {rate} (hits {hits})"
+        );
+    }
+
+    #[test]
+    fn noise_off_never_fires() {
+        let mut rng = Pcg64::new(12);
+        for _ in 0..10_000 {
+            assert!(NoiseSpike::OFF.sample(&mut rng).is_zero());
+        }
+    }
+
+    #[test]
+    fn hw_jitter_is_tight() {
+        let mut rng = Pcg64::new(13);
+        let base = SimDuration::from_ns_f64(137.49);
+        let j = Jitter::hw_default();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| j.sample(base, &mut rng).as_ns_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        let rel_sigma = var.sqrt() / mean;
+        assert!(rel_sigma < 0.06, "hardware jitter too loose: {rel_sigma}");
+    }
+}

@@ -1,0 +1,327 @@
+//! The hybrid simulation engine.
+//!
+//! The measured system in the paper has two kinds of actors:
+//!
+//! * **software** (MPI/UCP/UCT on a core) executes *sequentially*: each call
+//!   costs CPU time, and the next call starts when the previous returns;
+//! * **hardware** (root complex, NIC, wire, switch) is a *pipeline*: it has
+//!   multiple outstanding transactions, and its work overlaps CPU time —
+//!   the paper's Figure 5 shows `PCIe` of message *i* overlapping
+//!   `CPU_time` of message *i+1*.
+//!
+//! We model this with a [`CpuClock`] per simulated core (software advances
+//! it explicitly) and an [`EventQueue`] shared by the hardware components
+//! (events fire in timestamp order, FIFO-stable for equal timestamps).
+//! Software drains hardware events up to its own clock whenever it needs to
+//! observe hardware state (e.g. polling a completion queue), which is
+//! precisely what a real core does when it loads a CQ entry from memory.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time. Equal-time events preserve
+/// insertion order (`seq`), so the simulation is deterministic.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    seq: u64,
+    /// The payload delivered to the handler.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A total-ordered, FIFO-stable event queue over payload type `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    /// Time of the most recently popped event; pushes earlier than this are
+    /// causality violations and panic.
+    watermark: SimTime,
+    total_fired: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+            total_fired: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is earlier than the last popped event's time (an effect
+    /// scheduled before its cause).
+    pub fn push(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.watermark,
+            "causality violation: scheduling at {at} behind watermark {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Schedule `event` to fire `after` from `from`.
+    pub fn push_after(&mut self, from: SimTime, after: SimDuration, event: E) {
+        self.push(from + after, event);
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event if it is due at or before `limit`.
+    pub fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= limit {
+            let ev = self.heap.pop().expect("peeked entry vanished");
+            self.watermark = ev.at;
+            self.total_fired += 1;
+            Some((ev.at, ev.event))
+        } else {
+            None
+        }
+    }
+
+    /// Pop the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_due(SimTime::MAX)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Count of events fired since construction (diagnostics).
+    pub fn total_fired(&self) -> u64 {
+        self.total_fired
+    }
+
+    /// Time of the last fired event.
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+}
+
+/// The sequential clock of one simulated core.
+///
+/// Software-layer code (the `llp`, `hlp`, `mpi` crates) advances this clock
+/// by the sampled cost of each instruction sequence it "executes". Hardware
+/// interaction points read the clock to timestamp MMIO writes and drain the
+/// hardware event queue up to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuClock {
+    now: SimTime,
+}
+
+impl Default for CpuClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuClock {
+    /// A core whose local time starts at zero.
+    pub fn new() -> Self {
+        CpuClock { now: SimTime::ZERO }
+    }
+
+    /// A core starting at an arbitrary instant (e.g. the target node's CPU
+    /// in a ping-pong, offset to when it posted its receive).
+    pub fn starting_at(t: SimTime) -> Self {
+        CpuClock { now: t }
+    }
+
+    /// Current local time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Execute work costing `d`; returns the completion instant.
+    #[inline]
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        self.now += d;
+        self.now
+    }
+
+    /// Block until at least `t` (no-op if already past). Models waiting on
+    /// an external condition; returns the new local time.
+    #[inline]
+    pub fn advance_to(&mut self, t: SimTime) -> SimTime {
+        self.now = self.now.max_of(t);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(30), "c");
+        q.push(SimTime::from_ns(10), "a");
+        q.push(SimTime::from_ns(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_limit() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 1);
+        q.push(SimTime::from_ns(20), 2);
+        assert_eq!(q.pop_due(SimTime::from_ns(15)), Some((SimTime::from_ns(10), 1)));
+        assert_eq!(q.pop_due(SimTime::from_ns(15)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(SimTime::from_ns(20)), Some((SimTime::from_ns(20), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn push_behind_watermark_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), ());
+        q.pop();
+        q.push(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn push_at_watermark_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 1);
+        q.pop();
+        q.push(SimTime::from_ns(10), 2); // same instant: fine
+        assert_eq!(q.pop(), Some((SimTime::from_ns(10), 2)));
+    }
+
+    #[test]
+    fn push_after_composes() {
+        let mut q = EventQueue::new();
+        q.push_after(SimTime::from_ns(100), SimDuration::from_ns(37), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(137)));
+    }
+
+    #[test]
+    fn cpu_clock_advances_monotonically() {
+        let mut cpu = CpuClock::new();
+        assert_eq!(cpu.now(), SimTime::ZERO);
+        cpu.advance(SimDuration::from_ns(100));
+        cpu.advance_to(SimTime::from_ns(50)); // earlier: no-op
+        assert_eq!(cpu.now(), SimTime::from_ns(100));
+        cpu.advance_to(SimTime::from_ns(150));
+        assert_eq!(cpu.now(), SimTime::from_ns(150));
+    }
+
+    #[test]
+    fn cpu_clock_starting_at() {
+        let mut cpu = CpuClock::starting_at(SimTime::from_ns(500));
+        assert_eq!(cpu.now(), SimTime::from_ns(500));
+        cpu.advance(SimDuration::from_ns(10));
+        assert_eq!(cpu.now(), SimTime::from_ns(510));
+    }
+
+    #[test]
+    fn interleaved_push_pop_respects_watermark() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 'a');
+        assert_eq!(q.pop_due(SimTime::from_ns(5)), None);
+        // Nothing popped yet: earlier pushes are still legal.
+        q.push(SimTime::from_ns(2), 'b');
+        assert_eq!(q.pop(), Some((SimTime::from_ns(2), 'b')));
+        // Now the watermark is 2: same-time pushes fine, earlier panics.
+        q.push(SimTime::from_ns(2), 'c');
+        assert_eq!(q.pop(), Some((SimTime::from_ns(2), 'c')));
+    }
+
+    #[test]
+    fn total_fired_counts() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(SimTime::from_ns(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.total_fired(), 10);
+        assert_eq!(q.watermark(), SimTime::from_ns(9));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn pops_are_sorted_and_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_ns(t), i);
+                }
+                let mut prev: Option<(SimTime, usize)> = None;
+                while let Some((at, idx)) = q.pop() {
+                    if let Some((pt, pidx)) = prev {
+                        prop_assert!(at >= pt);
+                        if at == pt {
+                            prop_assert!(idx > pidx, "FIFO stability violated");
+                        }
+                    }
+                    prev = Some((at, idx));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulation must be a pure function of `(profile, seed, workload)` so
+//! that every table and figure regenerates bit-identically. We implement a
+//! PCG-XSL-RR 128/64 generator (O'Neill, 2014) seeded through SplitMix64 —
+//! small, fast, and with well-understood statistical quality — rather than
+//! pulling in a full `rand` dependency for the hot path.
+
+/// PCG-XSL-RR 128/64: 128-bit LCG state, 64-bit xorshift-rotate output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    inc: u128,
+}
+
+const PCG_MULT: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// SplitMix64 step, used for seed expansion.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Pcg64 {
+    /// Create a generator from a 64-bit seed. Distinct seeds yield
+    /// independent-looking streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s0 = splitmix64(&mut sm);
+        let s1 = splitmix64(&mut sm);
+        let i0 = splitmix64(&mut sm);
+        let i1 = splitmix64(&mut sm);
+        let mut rng = Pcg64 {
+            state: ((s0 as u128) << 64) | s1 as u128,
+            inc: (((i0 as u128) << 64) | i1 as u128) | 1,
+        };
+        // Burn a few outputs so nearby seeds decorrelate.
+        for _ in 0..4 {
+            rng.next_u64();
+        }
+        rng
+    }
+
+    /// Derive an independent child stream; used to give each simulated
+    /// component (CPU jitter, wire jitter, OS noise, ...) its own RNG so
+    /// adding a sample in one component never perturbs another. This is the
+    /// measurement-isolation property the paper needs ("while measuring time
+    /// of a component, we do not simultaneously measure any other").
+    pub fn fork(&mut self, label: u64) -> Pcg64 {
+        let s = self.next_u64() ^ label.rotate_left(17);
+        Pcg64::new(s)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let rot = (self.state >> 122) as u32;
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xored.rotate_right(rot)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift with
+    /// rejection (unbiased).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a positive bound");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Standard normal deviate via Box–Muller (one value per call; the
+    /// partner value is discarded to keep the generator stateless across
+    /// component forks).
+    pub fn next_gaussian(&mut self) -> f64 {
+        loop {
+            let u1 = self.next_f64();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2 = self.next_f64();
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * core::f64::consts::PI * u2).cos();
+        }
+    }
+
+    /// Log-normal deviate with the *median* at `median` and log-space sigma
+    /// `sigma`: `median * exp(sigma * N(0,1))`.
+    pub fn next_lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (sigma * self.next_gaussian()).exp()
+    }
+
+    /// Bernoulli trial.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Pcg64::new(42);
+        let mut b = Pcg64::new(42);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg64::new(1);
+        let mut b = Pcg64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_parent_consumption() {
+        // fork(label) must give the same child no matter what the *child*
+        // later consumes, and children with different labels must differ.
+        let mut parent1 = Pcg64::new(7);
+        let mut parent2 = Pcg64::new(7);
+        let mut c1 = parent1.fork(100);
+        let mut c2 = parent2.fork(100);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut parent3 = Pcg64::new(7);
+        let mut c3 = parent3.fork(101);
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = Pcg64::new(123);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "uniform mean off: {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Pcg64::new(9);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "gaussian mean off: {mean}");
+        assert!((var - 1.0).abs() < 0.05, "gaussian variance off: {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = Pcg64::new(31);
+        let n = 100_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.next_lognormal(100.0, 0.2)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!(
+            (median - 100.0).abs() < 2.0,
+            "lognormal median off: {median}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Pcg64::new(77);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.next_bool(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "bernoulli rate off: {rate}");
+    }
+
+    proptest! {
+        #[test]
+        fn next_below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+            let mut rng = Pcg64::new(seed);
+            for _ in 0..32 {
+                prop_assert!(rng.next_below(bound) < bound);
+            }
+        }
+
+        #[test]
+        fn next_f64_in_unit_interval(seed in any::<u64>()) {
+            let mut rng = Pcg64::new(seed);
+            for _ in 0..64 {
+                let x = rng.next_f64();
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_uniformity_chi_squared() {
+        let mut rng = Pcg64::new(2024);
+        const BINS: usize = 16;
+        const N: usize = 160_000;
+        let mut counts = [0usize; BINS];
+        for _ in 0..N {
+            counts[rng.next_below(BINS as u64) as usize] += 1;
+        }
+        let expected = (N / BINS) as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 15 dof, p=0.001 critical value is ~37.7.
+        assert!(chi2 < 37.7, "chi-squared too large: {chi2}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build the calibrated models, print the headline numbers,
+//! and validate them against the simulated system.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use breaking_band::microbench::{put_bw, PutBwConfig, StackConfig};
+use breaking_band::models::{
+    Calibration, EndToEndLatencyModel, InjectionModel, OverallInjectionModel,
+};
+
+fn main() {
+    // The calibrated system: ThunderX2 + ConnectX-4 through one switch.
+    let calib = Calibration::default();
+
+    // Equation 1: LLP-level injection overhead.
+    let inj = InjectionModel::from_calibration(&calib);
+    println!("LLP injection overhead (Eq. 1): {}", inj.total());
+
+    // Equation 2: overall injection overhead with the MPI stack on top.
+    let overall = OverallInjectionModel::from_calibration(&calib);
+    println!("Overall injection overhead (Eq. 2): {}", overall.total());
+
+    // The end-to-end latency model and its component breakdown.
+    let latency = EndToEndLatencyModel::from_calibration(&calib);
+    println!("\nEnd-to-end latency: {}", latency.total());
+    for (component, pct) in latency.breakdown().percentages() {
+        println!("  {component:>14}: {pct:5.2}%");
+    }
+
+    // Observe the simulated system with the PCIe analyzer: run the
+    // injection-rate benchmark and compare against the model.
+    println!("\nRunning put_bw on the simulated system...");
+    let report = put_bw(&PutBwConfig {
+        stack: StackConfig::default(),
+        messages: 10_000,
+        ..Default::default()
+    });
+    let observed = report.observed.summary();
+    let err = (inj.total().as_ns_f64() - observed.mean).abs() / observed.mean * 100.0;
+    println!(
+        "  observed {:.2} ns (median {:.2}, min {:.2}, sigma {:.2})",
+        observed.mean, observed.median, observed.min, observed.std_dev
+    );
+    println!("  model-vs-observed error: {err:.2}% (the paper reports <5%)");
+    assert!(err < 5.0);
+}

@@ -1,0 +1,87 @@
+//! §7's what-if analysis, extended: the four Figure 17 panels, the
+//! headline claims, a simulation-backed linearity check, and a custom
+//! "your optimization here" scenario combining several reductions.
+//!
+//! ```sh
+//! cargo run --release --example what_if
+//! ```
+
+use breaking_band::llp::Phase;
+use breaking_band::models::whatif::Component;
+use breaking_band::models::{Calibration, EndToEndLatencyModel, WhatIf};
+use breaking_band::report::render_curves;
+
+fn main() {
+    let w = WhatIf::new(Calibration::default());
+
+    // The paper's Figure 17, all four panels.
+    let titles = [
+        "Figure 17a: injection speedup vs CPU-component reduction",
+        "Figure 17b: latency speedup vs CPU-component reduction",
+        "Figure 17c: latency speedup vs I/O-component reduction",
+        "Figure 17d: latency speedup vs network-component reduction",
+    ];
+    for (title, panel) in titles.iter().zip(w.figure17()) {
+        println!("{}", render_curves(title, &panel));
+    }
+
+    // §7's claims, checked against the model.
+    println!("Section 7 claims:");
+    for c in w.claims() {
+        println!(
+            "  [{}] {} -> {:.2}% (paper: {:.2}%)",
+            if c.holds { "ok" } else { "FAIL" },
+            c.name,
+            c.speedup_pct,
+            c.paper_pct
+        );
+        assert!(c.holds);
+    }
+
+    // The paper: a distributed-system simulator gives "exactly the same
+    // linear speedups". Cross-check one line against our discrete-event
+    // substrate: scale the PIO copy and actually re-run put_bw.
+    println!("\nSimulation-backed check (PIO copy, Eq. 1 metric):");
+    for reduction in [0.3, 0.6, 0.9] {
+        let predicted = 94.25 * reduction / 295.73 * 100.0;
+        let simulated = w.simulate_injection_speedup(Phase::PioCopy, reduction, 4_000);
+        println!(
+            "  reduce PIO {:>3.0}% -> model {predicted:5.2}%  simulated {simulated:5.2}%",
+            reduction * 100.0
+        );
+        assert!((predicted - simulated).abs() < 1.0);
+    }
+
+    // Hardware what-ifs cross-checked against the substrate: scale the
+    // switch / RC-to-MEM / wire models inside the simulated cluster and
+    // re-run the am_lat ping-pong.
+    println!("\nSimulation-backed hardware check (UCT latency metric):");
+    let uct_baseline = 1135.8 + 49.69 / 2.0;
+    for (comp, share) in [
+        (Component::Switch, 108.0),
+        (Component::RcToMem, 240.96),
+        (Component::Wire, 274.81),
+    ] {
+        let predicted = share * 0.5 / uct_baseline * 100.0;
+        let simulated = w.simulate_latency_speedup(comp, 0.5, 60);
+        println!(
+            "  halve {:<10} -> model {predicted:5.2}%  simulated {simulated:5.2}%",
+            format!("{comp:?}")
+        );
+        assert!((predicted - simulated).abs() < 0.5);
+    }
+
+    // A composite scenario: integrated NIC (I/O -80%) + fast device writes
+    // (PIO -84%) + GenZ-class switch (-72%) applied together.
+    println!("\nComposite scenario (integrated NIC + fast PIO + GenZ switch):");
+    let c = Calibration::default();
+    let baseline = EndToEndLatencyModel::from_calibration(&c).total().as_ns_f64();
+    let saved = Component::IntegratedNic.latency_time(&c).unwrap().as_ns_f64() * 0.80
+        + Component::Pio.latency_time(&c).unwrap().as_ns_f64() * 0.84
+        + Component::Switch.latency_time(&c).unwrap().as_ns_f64() * 0.72;
+    println!(
+        "  end-to-end latency {baseline:.2} ns -> {:.2} ns ({:.1}% faster)",
+        baseline - saved,
+        saved / baseline * 100.0
+    );
+}

@@ -1,0 +1,58 @@
+//! # breaking-band
+//!
+//! A from-scratch Rust reproduction of **"Breaking Band: A Breakdown of
+//! High-performance Communication"** (Zambre, Grodowitz,
+//! Chandramowlishwaran, Shamis — ICPP 2019): analytical models of the
+//! injection overhead and end-to-end latency of small-message RDMA
+//! communication, a calibrated discrete-event simulation of the entire
+//! ThunderX2 + ConnectX-4 InfiniBand stack they were measured on, and the
+//! what-if analysis built on top.
+//!
+//! The facade re-exports each layer under a module named after its role in
+//! the paper:
+//!
+//! | module        | crate              | the paper's term                |
+//! |---------------|--------------------|---------------------------------|
+//! | [`sim`]       | `bband-sim`        | virtual time, jitter, events    |
+//! | [`profiling`] | `bband-profiling`  | UCS profiling infrastructure    |
+//! | [`memsys`]    | `bband-memsys`     | barriers, memory types, RC-to-MEM |
+//! | [`pcie`]      | `bband-pcie`       | PCIe: TLPs, credits, root complex |
+//! | [`fabric`]    | `bband-fabric`     | Wire, Switch, Network           |
+//! | [`nic`]       | `bband-nic`        | the ConnectX-style NIC + cluster |
+//! | [`analyzer`]  | `bband-analyzer`   | the (Lecroy) PCIe analyzer      |
+//! | [`llp`]       | `bband-llp`        | UCT — the low-level protocol    |
+//! | [`hlp`]       | `bband-hlp`        | UCP — high-level protocols      |
+//! | [`mpi`]       | `bband-mpi`        | MPICH/CH4 — the MPI library     |
+//! | [`microbench`]| `bband-microbench` | put_bw, am_lat, OSU tests       |
+//! | [`models`]    | `bband-core`       | Equations 1–2, latency models, what-if |
+//! | [`report`]    | `bband-report`     | table/figure renderers          |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use breaking_band::models::{Calibration, EndToEndLatencyModel};
+//!
+//! let calib = Calibration::default(); // ThunderX2 + ConnectX-4
+//! let latency = EndToEndLatencyModel::from_calibration(&calib);
+//! assert!((latency.total().as_ns_f64() - 1387.02).abs() < 0.05);
+//! for (component, pct) in latency.breakdown().percentages() {
+//!     println!("{component:>14}: {pct:5.2}%");
+//! }
+//! ```
+//!
+//! Run `cargo run -p bband-bench --bin repro -- all` to regenerate every
+//! table and figure of the paper.
+
+pub use bband_analyzer as analyzer;
+pub use bband_core as models;
+pub use bband_fabric as fabric;
+pub use bband_hlp as hlp;
+pub use bband_llp as llp;
+pub use bband_memsys as memsys;
+pub use bband_microbench as microbench;
+pub use bband_mpi as mpi;
+pub use bband_nic as nic;
+pub use bband_pcie as pcie;
+pub use bband_profiling as profiling;
+pub use bband_report as report;
+pub use bband_sim as sim;
