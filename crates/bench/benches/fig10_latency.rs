@@ -17,6 +17,7 @@ fn bench(c: &mut Criterion) {
                 stack: StackConfig::default(),
                 iterations: 200,
                 warmup: 8,
+                buffer_samples: false,
             };
             black_box(am_lat(&cfg).observed.summary())
         })

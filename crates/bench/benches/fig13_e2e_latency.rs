@@ -19,6 +19,7 @@ fn bench(c: &mut Criterion) {
                 stack: StackConfig::default(),
                 iterations: 200,
                 warmup: 8,
+                buffer_samples: false,
             };
             black_box(osu_latency(&cfg).observed.summary())
         })

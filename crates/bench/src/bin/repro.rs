@@ -3,17 +3,30 @@
 //! ```text
 //! repro <target>...        # table1 fig4 fig6 fig7 fig8 fig10..fig16
 //!                          # fig17a..fig17d claims validate
-//!                          # scaling crossover multicore profiles
+//!                          # scaling crossover multicore collectives
+//!                          # profiles insights
 //! repro all                # everything, in paper order
 //! repro --quick all        # smaller runs (CI-friendly)
+//! repro --serial all       # one figure at a time (same bytes, slower)
 //! repro --json DIR fig13   # also write machine-readable artifacts
+//! repro --timing-json P all  # write per-figure wall-clock to P
+//! repro --seed 7 fig7      # re-seed every stochastic experiment
 //! ```
+//!
+//! Figures are independent simulations, so the harness fans them out
+//! across a [`WorkerPool`] (one task per figure) and then emits results in
+//! paper order. Every figure seeds its own RNG streams, so stdout and the
+//! `--json` artifacts are byte-identical between parallel and `--serial`
+//! runs — only the wall clock differs.
 
 use bband_bench::{run_target, Scale, ALL_TARGETS};
 use bband_core::whatif::Component;
 use bband_core::{Calibration, EndToEndLatencyModel, InjectionModel, OverallInjectionModel, WhatIf};
 use bband_report::{breakdown_json, curves_json, to_json};
+use bband_sim::WorkerPool;
+use serde_json::Value;
 use std::path::Path;
+use std::time::Instant;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,19 +36,35 @@ fn main() {
     } else {
         Scale::Full
     };
-    let json_dir = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|pos| {
+    let serial = if let Some(pos) = args.iter().position(|a| a == "--serial") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let mut flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|pos| {
             args.remove(pos);
             if pos >= args.len() {
-                eprintln!("--json requires a directory argument");
+                eprintln!("{flag} requires an argument");
                 std::process::exit(2);
             }
             args.remove(pos)
+        })
+    };
+    let json_dir = flag_value("--json");
+    let timing_path = flag_value("--timing-json");
+    if let Some(seed) = flag_value("--seed") {
+        let seed: u64 = seed.parse().unwrap_or_else(|_| {
+            eprintln!("--seed requires an unsigned integer");
+            std::process::exit(2);
         });
+        bband_microbench::set_seed_override(seed);
+    }
     if args.is_empty() {
-        eprintln!("usage: repro [--quick] [--json DIR] <target>... | all");
+        eprintln!(
+            "usage: repro [--quick] [--serial] [--seed N] [--json DIR] [--timing-json PATH] <target>... | all"
+        );
         eprintln!("targets: {}", ALL_TARGETS.join(" "));
         std::process::exit(2);
     }
@@ -45,16 +74,63 @@ fn main() {
         args.iter().map(String::as_str).collect()
     };
     for t in &targets {
-        println!("==== {t} ====");
-        println!("{}", run_target(t, scale));
-        if let Some(dir) = &json_dir {
-            if let Some(json) = json_artifact(t) {
-                std::fs::create_dir_all(dir).expect("create artifact dir");
-                let path = Path::new(dir).join(format!("{t}.json"));
-                std::fs::write(&path, json).expect("write artifact");
-                eprintln!("wrote {}", path.display());
-            }
+        if !ALL_TARGETS.contains(t) {
+            eprintln!("unknown target {t}; known: {}", ALL_TARGETS.join(" "));
+            std::process::exit(2);
         }
+    }
+
+    let pool = if serial {
+        WorkerPool::with_threads(1)
+    } else {
+        WorkerPool::new()
+    };
+    let started = Instant::now();
+    // One task per figure; each returns (rendered text, optional artifact,
+    // wall-clock seconds). Results come back in paper order regardless of
+    // which worker ran what.
+    let results: Vec<(String, Option<String>, f64)> = pool.map(targets.clone(), |_, t| {
+        let t0 = Instant::now();
+        let text = run_target(t, scale);
+        let artifact = json_dir.as_ref().and_then(|_| json_artifact(t));
+        (text, artifact, t0.elapsed().as_secs_f64())
+    });
+    let total = started.elapsed().as_secs_f64();
+
+    for (t, (text, artifact, _)) in targets.iter().zip(&results) {
+        println!("==== {t} ====");
+        println!("{text}");
+        if let (Some(dir), Some(json)) = (&json_dir, artifact) {
+            std::fs::create_dir_all(dir).expect("create artifact dir");
+            let path = Path::new(dir).join(format!("{t}.json"));
+            std::fs::write(&path, json).expect("write artifact");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    if let Some(path) = &timing_path {
+        let per_target: Vec<Value> = targets
+            .iter()
+            .zip(&results)
+            .map(|(t, (_, _, secs))| {
+                Value::Obj(vec![
+                    ("target".into(), Value::Str((*t).into())),
+                    ("ms".into(), Value::Float(secs * 1e3)),
+                ])
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            (
+                "scale".into(),
+                Value::Str(if scale == Scale::Quick { "quick" } else { "full" }.into()),
+            ),
+            ("threads".into(), Value::UInt(pool.threads() as u64)),
+            ("total_ms".into(), Value::Float(total * 1e3)),
+            ("targets".into(), Value::Arr(per_target)),
+        ]);
+        std::fs::write(path, serde_json::to_string_pretty(&doc).expect("render timings"))
+            .expect("write timing json");
+        eprintln!("wrote {path}");
     }
 }
 

@@ -14,6 +14,7 @@ use bband_microbench::{
     am_lat, credit_exhaustion_onset, eager_rndv_sweep, put_bw, AmLatConfig, PutBwConfig,
     StackConfig,
 };
+use bband_mpi::{collective_scaling, Collective};
 use bband_report::{render_bar, render_curves, render_histogram, render_table1};
 
 /// Experiment scale: quick (tests) or full (the harness default).
@@ -94,6 +95,7 @@ pub fn fig10(scale: Scale) -> String {
             Scale::Full => 1_000,
         },
         warmup: 16,
+        buffer_samples: false,
     });
     let corrected = obs.observed.summary().mean - 49.69 / 2.0;
     out.push_str(&format!(
@@ -310,6 +312,32 @@ pub fn ext_multicore() -> String {
     out
 }
 
+/// Collective scaling on the simulated stack: barrier and allreduce
+/// completion vs rank count (⌈log₂N⌉ rounds over the point-to-point
+/// layer). The sweep fans independent rank counts across the worker pool.
+pub fn ext_collectives(scale: Scale) -> String {
+    let counts: &[u32] = match scale {
+        Scale::Quick => &[2, 4, 8],
+        Scale::Full => &[2, 4, 8, 16, 32],
+    };
+    let barrier = collective_scaling(counts, Collective::Barrier, 9);
+    let allreduce = collective_scaling(counts, Collective::Allreduce { bytes: 256 }, 9);
+    let mut out = String::from("Collective scaling (deterministic, min-clock driver)\n");
+    out.push_str(&format!(
+        "  {:>6}  {:>7}  {:>14}  {:>16}\n",
+        "ranks", "rounds", "barrier", "allreduce 256B"
+    ));
+    for ((n, b), (_, a)) in barrier.iter().zip(&allreduce) {
+        out.push_str(&format!(
+            "  {n:>6}  {:>7}  {:>12.2}ns  {:>14.2}ns\n",
+            b.rounds,
+            b.completion.as_ns_f64(),
+            a.completion.as_ns_f64()
+        ));
+    }
+    out
+}
+
 /// Alternative system profiles (the §7 optimizations as whole systems).
 pub fn ext_profiles() -> String {
     let mut out = String::from("Alternative system calibrations (end-to-end latency)
@@ -359,10 +387,10 @@ pub fn ext_insights() -> String {
 }
 
 /// Every figure id the harness knows.
-pub const ALL_TARGETS: [&str; 23] = [
+pub const ALL_TARGETS: [&str; 24] = [
     "table1", "fig4", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14",
     "fig15", "fig16", "fig17a", "fig17b", "fig17c", "fig17d", "claims", "validate", "scaling",
-    "crossover", "multicore", "profiles", "insights",
+    "crossover", "multicore", "collectives", "profiles", "insights",
 ];
 
 /// Run one target by name.
@@ -389,6 +417,7 @@ pub fn run_target(name: &str, scale: Scale) -> String {
         "scaling" => ext_scaling(),
         "crossover" => ext_crossover(),
         "multicore" => ext_multicore(),
+        "collectives" => ext_collectives(scale),
         "profiles" => ext_profiles(),
         "insights" => ext_insights(),
         other => panic!("unknown target {other}; known: {ALL_TARGETS:?}"),

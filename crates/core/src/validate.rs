@@ -116,6 +116,7 @@ pub fn validate_all(c: &Calibration, scale: ValidationScale, jittered: bool) -> 
     let r = put_bw(&PutBwConfig {
         stack: stack(),
         messages: scale.put_bw_messages,
+        buffer_samples: false,
         ..Default::default()
     });
     let observed_inj = r.observed.summary().mean;
@@ -127,6 +128,7 @@ pub fn validate_all(c: &Calibration, scale: ValidationScale, jittered: bool) -> 
         stack: stack(),
         iterations: scale.am_lat_iterations,
         warmup: 16,
+        buffer_samples: false,
     });
     let observed_lat = r.observed.summary().mean - UCS_OVERHEAD_MEAN_NS / 2.0;
 
@@ -147,6 +149,7 @@ pub fn validate_all(c: &Calibration, scale: ValidationScale, jittered: bool) -> 
         stack: stack(),
         iterations: scale.osu_lat_iterations,
         warmup: 16,
+        buffer_samples: false,
     });
     let observed_e2e = r.observed.summary().mean - UCS_OVERHEAD_MEAN_NS / 2.0;
 

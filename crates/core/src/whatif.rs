@@ -17,7 +17,7 @@ use crate::injection::OverallInjectionModel;
 use crate::latency::EndToEndLatencyModel;
 use bband_llp::Phase;
 use bband_microbench::{am_lat, put_bw, AmLatConfig, PutBwConfig, StackConfig};
-use bband_sim::SimDuration;
+use bband_sim::{SimDuration, WorkerPool};
 
 /// The optimizable components of Figure 17.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -235,8 +235,10 @@ impl WhatIf {
     }
 
     /// Dense sweep (1%…99% for every component on both metrics), fanned
-    /// out across threads with crossbeam — the grid is embarrassingly
-    /// parallel and the simulation-backed variant of each cell is costly.
+    /// out across a [`WorkerPool`] — the grid is embarrassingly parallel
+    /// and the simulation-backed variant of each cell is costly. Tasks are
+    /// pure functions of `(component, metric)`, so the pool's in-order
+    /// result collection makes this bit-identical to a serial loop.
     pub fn dense_sweep(&self) -> Vec<(Component, bool, Vec<Point>)> {
         let all = [
             Component::Hlp,
@@ -259,21 +261,9 @@ impl WhatIf {
             .flat_map(|&c| [(c, false), (c, true)])
             .collect();
         let grid: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
-        let mut out: Vec<Option<(Component, bool, Vec<Point>)>> = vec![None; tasks.len()];
-        let chunk = tasks.len().div_ceil(num_threads());
-        crossbeam::thread::scope(|s| {
-            for (slot_chunk, task_chunk) in out.chunks_mut(chunk).zip(tasks.chunks(chunk)) {
-                let me = self.clone();
-                let grid = &grid;
-                s.spawn(move |_| {
-                    for (slot, &(comp, latency)) in slot_chunk.iter_mut().zip(task_chunk) {
-                        *slot = Some((comp, latency, me.curve(comp, latency, grid)));
-                    }
-                });
-            }
+        WorkerPool::new().map(tasks, |_, (comp, latency)| {
+            (comp, latency, self.curve(comp, latency, &grid))
         })
-        .expect("sweep threads");
-        out.into_iter().flatten().collect()
     }
 
     /// The §7 headline claims.
@@ -360,6 +350,7 @@ impl WhatIf {
                 stack,
                 iterations,
                 warmup: 8,
+                buffer_samples: false,
             })
             .observed
             .summary()
@@ -435,6 +426,7 @@ impl WhatIf {
                 },
                 messages,
                 warmup: 1_024,
+                buffer_samples: false,
                 ..Default::default()
             };
             put_bw(&cfg).observed.summary().mean
@@ -445,13 +437,6 @@ impl WhatIf {
         let opt = run(scaled);
         (base - opt) / base * 100.0
     }
-}
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
 }
 
 #[cfg(test)]
@@ -534,7 +519,7 @@ mod tests {
 
     #[test]
     fn dense_sweep_matches_serial_computation() {
-        // The crossbeam fan-out must produce exactly what a serial loop
+        // The pool fan-out must produce exactly what a serial loop
         // does — thread scheduling cannot leak into results.
         let w = engine();
         let sweep = w.dense_sweep();

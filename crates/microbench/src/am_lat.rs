@@ -26,6 +26,10 @@ pub struct AmLatConfig {
     pub iterations: u64,
     /// Warmup iterations excluded from measurement.
     pub warmup: u64,
+    /// Retain raw samples in the report's [`SampleSet`]s. Means-only
+    /// consumers (validation, what-if speedup sweeps) set `false` to
+    /// stream the moments in constant memory.
+    pub buffer_samples: bool,
 }
 
 impl Default for AmLatConfig {
@@ -34,6 +38,7 @@ impl Default for AmLatConfig {
             stack: StackConfig::default(),
             iterations: 1_000,
             warmup: 32,
+            buffer_samples: true,
         }
     }
 }
@@ -61,7 +66,14 @@ pub fn am_lat(cfg: &AmLatConfig) -> AmLatReport {
     let mut w0 = cfg.stack.build_worker(0);
     let mut w1 = cfg.stack.build_worker(1);
     let mut bench = BenchClock::new(cfg.stack.seed, cfg.stack.deterministic);
-    let mut observed = SampleSet::new();
+    let new_set = || {
+        if cfg.buffer_samples {
+            SampleSet::new()
+        } else {
+            SampleSet::streaming()
+        }
+    };
+    let mut observed = new_set();
 
     // Pre-post receive pools on both sides.
     for _ in 0..64 {
@@ -105,15 +117,15 @@ pub fn am_lat(cfg: &AmLatConfig) -> AmLatReport {
     }
 
     cluster.run_until_idle(&mut analyzer);
-    let mut pcie = SampleSet::new();
+    let mut pcie = new_set();
     for s in analyzer.pcie_one_way_samples() {
         pcie.push(s);
     }
-    let mut network = SampleSet::new();
+    let mut network = new_set();
     for s in analyzer.network_one_way_samples() {
         network.push(s);
     }
-    let mut pong_ping = SampleSet::new();
+    let mut pong_ping = new_set();
     for s in analyzer.pong_to_ping_deltas() {
         pong_ping.push(s);
     }
@@ -139,6 +151,7 @@ mod tests {
             },
             iterations: 300,
             warmup: 8,
+            ..Default::default()
         }
     }
 

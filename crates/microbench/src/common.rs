@@ -7,6 +7,20 @@ use bband_nic::Cluster;
 use bband_pcie::LinkModel;
 use bband_profiling::profiler::{UCS_OVERHEAD_MEAN_NS, UCS_OVERHEAD_SIGMA_NS};
 use bband_sim::{CpuClock, Pcg64, SimDuration};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide master-seed override for [`StackConfig::default`]; lets a
+/// driver (e.g. `repro --seed`) re-seed every stochastic experiment
+/// without threading a parameter through each figure. 0 = no override
+/// (the canonical 0x5EED).
+static SEED_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
+/// Override the default master seed for all subsequently built
+/// [`StackConfig`]s. Call once at startup, before any experiment runs;
+/// a `seed` of 0 restores the built-in default.
+pub fn set_seed_override(seed: u64) {
+    SEED_OVERRIDE.store(seed, Ordering::Relaxed);
+}
 
 /// How the simulated system is configured for a benchmark run.
 #[derive(Debug, Clone)]
@@ -29,7 +43,10 @@ pub struct StackConfig {
 impl Default for StackConfig {
     fn default() -> Self {
         StackConfig {
-            seed: 0x5EED,
+            seed: match SEED_OVERRIDE.load(Ordering::Relaxed) {
+                0 => 0x5EED,
+                s => s,
+            },
             deterministic: false,
             llp: LlpCosts::default(),
             link: None,

@@ -24,7 +24,7 @@ use bband_fabric::{NetworkModel, NodeId};
 use bband_llp::Worker;
 use bband_nic::{Cluster, NicConfig, Opcode};
 use bband_pcie::NullTap;
-use bband_sim::SimDuration;
+use bband_sim::{SimDuration, WorkerPool};
 
 /// Configuration for the multi-core injection experiment.
 #[derive(Debug, Clone)]
@@ -121,20 +121,20 @@ pub fn multicore_injection(cfg: &MulticoreConfig) -> MulticoreReport {
     }
 }
 
-/// Sweep core counts and report where credits first exhaust.
+/// Sweep core counts and report where credits first exhaust. Each count
+/// simulates an independent cluster (seeded only by `stack.seed` and the
+/// core index), so the sweep fans out across a [`WorkerPool`] with results
+/// identical to the serial loop it replaces.
 pub fn credit_exhaustion_onset(stack: &StackConfig, core_counts: &[u32]) -> Vec<(u32, bool)> {
-    core_counts
-        .iter()
-        .map(|&cores| {
-            let r = multicore_injection(&MulticoreConfig {
-                stack: stack.clone(),
-                cores,
-                messages_per_core: 400,
-                ring_depth: 16,
-            });
-            (cores, r.rc_stalled)
-        })
-        .collect()
+    WorkerPool::new().map(core_counts.to_vec(), |_, cores| {
+        let r = multicore_injection(&MulticoreConfig {
+            stack: stack.clone(),
+            cores,
+            messages_per_core: 400,
+            ring_depth: 16,
+        });
+        (cores, r.rc_stalled)
+    })
 }
 
 #[cfg(test)]

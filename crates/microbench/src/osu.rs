@@ -112,6 +112,9 @@ pub struct OsuLatConfig {
     pub stack: StackConfig,
     pub iterations: u64,
     pub warmup: u64,
+    /// Retain raw latency samples; means-only consumers set `false` to
+    /// stream the moments in constant memory.
+    pub buffer_samples: bool,
 }
 
 impl Default for OsuLatConfig {
@@ -120,6 +123,7 @@ impl Default for OsuLatConfig {
             stack: StackConfig::default(),
             iterations: 1_000,
             warmup: 32,
+            buffer_samples: true,
         }
     }
 }
@@ -148,7 +152,11 @@ pub fn osu_latency(cfg: &OsuLatConfig) -> OsuLatReport {
     r0.init(&mut cluster, &mut analyzer);
     r1.init(&mut cluster, &mut analyzer);
     let mut bench = BenchClock::new(cfg.stack.seed, cfg.stack.deterministic);
-    let mut observed = SampleSet::new();
+    let mut observed = if cfg.buffer_samples {
+        SampleSet::new()
+    } else {
+        SampleSet::streaming()
+    };
 
     for iter in 0..(cfg.warmup + cfg.iterations) {
         let tag = (iter & 0x7FFF) as i64;

@@ -13,11 +13,14 @@
 //! another rank's future — the discrete-event analogue of how a real
 //! machine interleaves cores.
 
+use crate::costs::MpiCosts;
 use crate::proc::{MpiProcess, MpiRequest, RequestState};
-use bband_fabric::NodeId;
-use bband_nic::Cluster;
-use bband_pcie::LinkTap;
-use bband_sim::SimTime;
+use bband_fabric::{NetworkModel, NodeId};
+use bband_hlp::{UcpCosts, UcpWorker};
+use bband_llp::{LlpCosts, Worker};
+use bband_nic::{Cluster, NicConfig};
+use bband_pcie::{LinkTap, NullTap};
+use bband_sim::{SimTime, WorkerPool};
 
 /// Which collective to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +164,55 @@ pub fn run_collective(
     }
 }
 
+/// Build a deterministic `n`-rank job (cluster + initialized MPI ranks)
+/// for the scaling driver. Seeding is a pure function of `(seed, rank)`,
+/// so two jobs built with the same arguments are identical.
+fn deterministic_job(n: u32, seed: u64) -> (Cluster, Vec<MpiProcess>) {
+    let mut cluster = Cluster::new(
+        n as usize,
+        NetworkModel::paper_default(),
+        NicConfig::default(),
+        seed,
+    )
+    .deterministic();
+    let mut tap = NullTap;
+    let ranks: Vec<MpiProcess> = (0..n)
+        .map(|i| {
+            let uct = Worker::new(
+                NodeId(i),
+                LlpCosts::default().deterministic(),
+                seed ^ (0xC0_11EC + i as u64),
+            );
+            let mut p = MpiProcess::new(
+                UcpWorker::new(uct, UcpCosts::default().unmoderated()),
+                MpiCosts::default(),
+            );
+            p.init(&mut cluster, &mut tap);
+            p
+        })
+        .collect();
+    (cluster, ranks)
+}
+
+/// Run `op` at each rank count, every count on its own freshly seeded
+/// cluster, fanned out across a [`WorkerPool`]. The min-clock driver
+/// inside one job stays sequential (its ranks share hardware); the jobs
+/// themselves are independent, which is where the parallelism is. Seeds
+/// derive from `(seed, rank count)` alone, so the result is identical to
+/// running the jobs in a serial loop.
+pub fn collective_scaling(
+    rank_counts: &[u32],
+    op: Collective,
+    seed: u64,
+) -> Vec<(u32, CollectiveReport)> {
+    WorkerPool::new().map(rank_counts.to_vec(), |_, n| {
+        let (mut cluster, mut ranks) = deterministic_job(n, seed);
+        let mut tap = NullTap;
+        let report = run_collective(&mut cluster, &mut ranks, op, &mut tap);
+        (n, report)
+    })
+}
+
 /// Convenience: barrier over the ranks.
 pub fn barrier(
     cluster: &mut Cluster,
@@ -269,6 +321,26 @@ mod tests {
         let first = barrier(&mut cl, &mut ranks, &mut tap).completion;
         let second = barrier(&mut cl, &mut ranks, &mut tap).completion;
         assert!(second > first, "second barrier runs after the first");
+    }
+
+    #[test]
+    fn scaling_sweep_matches_serial_runs() {
+        // The pooled sweep must reproduce job-by-job serial execution.
+        let counts = [2u32, 4, 8];
+        let pooled = collective_scaling(&counts, Collective::Barrier, 9);
+        for &(n, ref rep) in &pooled {
+            let (mut cl, mut ranks) = super::deterministic_job(n, 9);
+            let mut tap = NullTap;
+            let serial = run_collective(&mut cl, &mut ranks, Collective::Barrier, &mut tap);
+            assert_eq!(rep.completion, serial.completion, "{n} ranks");
+            assert_eq!(rep.rounds, serial.rounds);
+        }
+        // Logarithmic rounds, monotone completion.
+        assert_eq!(
+            pooled.iter().map(|(_, r)| r.rounds).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(pooled[2].1.completion > pooled[0].1.completion);
     }
 
     #[test]

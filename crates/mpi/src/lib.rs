@@ -25,5 +25,5 @@ pub mod costs;
 pub mod proc;
 
 pub use costs::MpiCosts;
-pub use collectives::{barrier, run_collective, Collective, CollectiveReport};
+pub use collectives::{barrier, collective_scaling, run_collective, Collective, CollectiveReport};
 pub use proc::{MpiProcess, MpiRequest, RequestState, ANY_TAG};

@@ -19,4 +19,4 @@ pub mod profiler;
 pub mod stats;
 
 pub use profiler::{Profiler, RegionHandle};
-pub use stats::SampleSet;
+pub use stats::{SampleSet, Summary, Welford};

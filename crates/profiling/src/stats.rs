@@ -3,14 +3,143 @@
 //! Mirrors what the paper reports per measurement: mean, median, min, max,
 //! standard deviation over ≥100 samples (its Figure 7 caption), plus a
 //! probability-density histogram for distribution plots.
+//!
+//! Two storage modes:
+//!
+//! * **buffered** ([`SampleSet::new`]) keeps every sample, so medians,
+//!   percentiles and histograms are available — Figure 7 needs this;
+//! * **streaming** ([`SampleSet::streaming`]) folds each sample into a
+//!   [`Welford`] accumulator and drops it, so long sweeps (validation,
+//!   what-if grids) that only read mean/σ/min/max run in O(1) memory.
+//!
+//! Both modes maintain the same accumulator, so summary moments are
+//! identical regardless of mode.
 
 use bband_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
+/// Streaming moment accumulator (Welford's algorithm): numerically stable
+/// running mean and variance plus min/max, in constant space. Merging two
+/// accumulators uses Chan's parallel combination, so per-worker partials
+/// from a pool fan-out can be reduced exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean.
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (Chan et al.).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (÷n, matching the paper's reports;
+    /// 0 when empty).
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
 /// A collection of duration samples with summary statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SampleSet {
     samples: Vec<SimDuration>,
+    stats: Welford,
+    buffered: bool,
+}
+
+impl Default for SampleSet {
+    fn default() -> Self {
+        SampleSet {
+            samples: Vec::new(),
+            stats: Welford::new(),
+            buffered: true,
+        }
+    }
 }
 
 /// Summary of a [`SampleSet`], all in nanoseconds.
@@ -25,37 +154,61 @@ pub struct Summary {
 }
 
 impl SampleSet {
-    /// Empty set.
+    /// Empty buffered set: every sample is retained, so medians,
+    /// percentiles and histograms are available.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Empty streaming set: samples fold into the [`Welford`] accumulator
+    /// and are dropped, so arbitrarily long runs use constant memory.
+    /// Order statistics are unavailable — [`SampleSet::summary`] reports
+    /// the mean in place of the median, and [`SampleSet::histogram`] /
+    /// [`SampleSet::percentile_ns`] / [`SampleSet::samples`] panic.
+    pub fn streaming() -> Self {
+        SampleSet {
+            buffered: false,
+            ..Self::default()
+        }
+    }
+
+    /// True when raw samples are retained (order statistics available).
+    pub fn is_buffered(&self) -> bool {
+        self.buffered
+    }
+
     /// Record one sample.
     pub fn push(&mut self, d: SimDuration) {
-        self.samples.push(d);
+        self.stats.push(d.as_ns_f64());
+        if self.buffered {
+            self.samples.push(d);
+        }
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.stats.count() as usize
     }
 
     /// True when no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.stats.count() == 0
     }
 
-    /// Raw samples.
+    /// Raw samples. Panics on a streaming set (they were not retained).
     pub fn samples(&self) -> &[SimDuration] {
+        assert!(self.buffered, "raw samples unavailable on a streaming SampleSet");
         &self.samples
+    }
+
+    /// Streaming moments (count, mean, σ, min, max) — O(1) in either mode.
+    pub fn stats(&self) -> &Welford {
+        &self.stats
     }
 
     /// Arithmetic mean in nanoseconds.
     pub fn mean_ns(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().map(|d| d.as_ns_f64()).sum::<f64>() / self.samples.len() as f64
+        self.stats.mean()
     }
 
     /// Mean with a fixed per-sample overhead deducted (the paper's
@@ -64,42 +217,37 @@ impl SampleSet {
         (self.mean_ns() - overhead_ns).max(0.0)
     }
 
-    /// Full summary (count, mean, median, min, max, σ).
+    /// Full summary (count, mean, median, min, max, σ). Moments come from
+    /// the streaming accumulator; the median needs the buffer, so a
+    /// streaming set reports its mean there instead.
     pub fn summary(&self) -> Summary {
-        if self.samples.is_empty() {
-            return Summary {
-                count: 0,
-                mean: 0.0,
-                median: 0.0,
-                min: 0.0,
-                max: 0.0,
-                std_dev: 0.0,
-            };
-        }
-        let mut sorted: Vec<f64> = self.samples.iter().map(|d| d.as_ns_f64()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-        let n = sorted.len();
-        let mean = sorted.iter().sum::<f64>() / n as f64;
-        let median = if n % 2 == 1 {
-            sorted[n / 2]
+        let n = self.stats.count() as usize;
+        let median = if !self.buffered || n == 0 {
+            self.stats.mean()
         } else {
-            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+            let mut sorted: Vec<f64> = self.samples.iter().map(|d| d.as_ns_f64()).collect();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+            if n % 2 == 1 {
+                sorted[n / 2]
+            } else {
+                (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+            }
         };
-        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         Summary {
             count: n,
-            mean,
+            mean: self.stats.mean(),
             median,
-            min: sorted[0],
-            max: sorted[n - 1],
-            std_dev: var.sqrt(),
+            min: self.stats.min(),
+            max: self.stats.max(),
+            std_dev: self.stats.std_dev(),
         }
     }
 
-    /// Percentile (0–100) by nearest-rank.
+    /// Percentile (0–100) by nearest-rank. Panics on a streaming set.
     pub fn percentile_ns(&self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-        assert!(!self.samples.is_empty(), "percentile of empty set");
+        assert!(!self.is_empty(), "percentile of empty set");
+        assert!(self.buffered, "percentiles unavailable on a streaming SampleSet");
         let mut sorted: Vec<f64> = self.samples.iter().map(|d| d.as_ns_f64()).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
@@ -109,9 +257,11 @@ impl SampleSet {
     /// Probability-density histogram over `[lo, hi)` with `bins` bins;
     /// returns (bin_center_ns, density) pairs. Samples outside the range
     /// are clamped into the end bins (the paper's Figure 7 does the same —
-    /// its 34.9 µs max is "not shown due to the large value").
+    /// its 34.9 µs max is "not shown due to the large value"). Panics on a
+    /// streaming set.
     pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Vec<(f64, f64)> {
         assert!(bins > 0 && hi > lo, "invalid histogram spec");
+        assert!(self.buffered, "histogram unavailable on a streaming SampleSet");
         let mut counts = vec![0usize; bins];
         let width = (hi - lo) / bins as f64;
         for d in &self.samples {
@@ -127,9 +277,18 @@ impl SampleSet {
             .collect()
     }
 
-    /// Merge another set into this one.
+    /// Merge another set into this one. Moments merge exactly (Chan's
+    /// combination); raw samples concatenate only when both sides buffer —
+    /// merging a streaming set into a buffered one degrades the result to
+    /// streaming (the missing samples cannot be reconstructed).
     pub fn extend_from(&mut self, other: &SampleSet) {
-        self.samples.extend_from_slice(&other.samples);
+        self.stats.merge(&other.stats);
+        if self.buffered && other.buffered {
+            self.samples.extend_from_slice(&other.samples);
+        } else if self.buffered {
+            self.buffered = false;
+            self.samples = Vec::new();
+        }
     }
 }
 
@@ -140,6 +299,14 @@ mod tests {
 
     fn set_of(ns: &[f64]) -> SampleSet {
         let mut s = SampleSet::new();
+        for &x in ns {
+            s.push(SimDuration::from_ns_f64(x));
+        }
+        s
+    }
+
+    fn streaming_of(ns: &[f64]) -> SampleSet {
+        let mut s = SampleSet::streaming();
         for &x in ns {
             s.push(SimDuration::from_ns_f64(x));
         }
@@ -169,6 +336,8 @@ mod tests {
         let s = SampleSet::new();
         assert_eq!(s.summary().count, 0);
         assert_eq!(s.mean_ns(), 0.0);
+        assert_eq!(s.summary().min, 0.0);
+        assert_eq!(s.summary().std_dev, 0.0);
     }
 
     #[test]
@@ -230,6 +399,82 @@ mod tests {
         assert_eq!(back.summary(), s.summary());
     }
 
+    #[test]
+    fn streaming_moments_match_buffered() {
+        let xs: Vec<f64> = (0..5_000).map(|i| (i as f64 * 0.37).sin().abs() * 300.0 + 50.0).collect();
+        let b = set_of(&xs).summary();
+        let s = streaming_of(&xs).summary();
+        assert_eq!(s.count, b.count);
+        assert!((s.mean - b.mean).abs() < 1e-9 * b.mean.abs().max(1.0));
+        assert!((s.std_dev - b.std_dev).abs() < 1e-9 * b.std_dev.abs().max(1.0));
+        assert!((s.min - b.min).abs() < 1e-12);
+        assert!((s.max - b.max).abs() < 1e-12);
+        // Streaming trades the median for O(1) memory: reports the mean.
+        assert!((s.median - s.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_set_retains_no_samples() {
+        let s = streaming_of(&(0..10_000).map(|i| i as f64).collect::<Vec<_>>());
+        assert!(!s.is_buffered());
+        assert_eq!(s.len(), 10_000);
+        // The whole point: no per-sample storage.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SampleSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.summary(), s.summary());
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming SampleSet")]
+    fn streaming_histogram_panics() {
+        streaming_of(&[1.0, 2.0]).histogram(0.0, 10.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming SampleSet")]
+    fn streaming_samples_panics() {
+        let _ = streaming_of(&[1.0]).samples();
+    }
+
+    #[test]
+    fn welford_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..999).map(|i| ((i * 31 + 7) % 503) as f64).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (lo, hi) = xs.split_at(401);
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in lo {
+            a.push(x);
+        }
+        for &x in hi {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - whole.std_dev()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        // Merging into/with empties is the identity.
+        let mut e = Welford::new();
+        e.merge(&whole);
+        assert_eq!(e, whole);
+        whole.merge(&Welford::new());
+        assert_eq!(e, whole);
+    }
+
+    #[test]
+    fn extend_mixing_modes_degrades_to_streaming() {
+        let mut buf = set_of(&[1.0, 2.0]);
+        buf.extend_from(&streaming_of(&[3.0, 4.0]));
+        assert!(!buf.is_buffered());
+        assert_eq!(buf.len(), 4);
+        assert!((buf.mean_ns() - 2.5).abs() < 1e-12);
+    }
+
     proptest! {
         #[test]
         fn mean_within_min_max(xs in proptest::collection::vec(0.0f64..1e6, 1..100)) {
@@ -247,6 +492,17 @@ mod tests {
             let mut s = set_of(&a);
             s.extend_from(&set_of(&b));
             prop_assert_eq!(s.len(), a.len() + b.len());
+        }
+
+        #[test]
+        fn streaming_and_buffered_agree(xs in proptest::collection::vec(0.0f64..1e4, 1..60)) {
+            let b = set_of(&xs).summary();
+            let s = streaming_of(&xs).summary();
+            prop_assert_eq!(b.count, s.count);
+            prop_assert!((b.mean - s.mean).abs() < 1e-6);
+            prop_assert!((b.std_dev - s.std_dev).abs() < 1e-6);
+            prop_assert!((b.min - s.min).abs() < 1e-9);
+            prop_assert!((b.max - s.max).abs() < 1e-9);
         }
     }
 }

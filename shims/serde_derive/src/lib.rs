@@ -1,0 +1,430 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real serde
+//! stack is replaced by a small shim (see `shims/serde`). This proc-macro
+//! crate implements `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! against that shim's single-method traits: serialization goes through a
+//! `serde::json::Value` tree rather than serde's visitor machinery.
+//!
+//! Supported shapes (everything the workspace actually derives):
+//! named structs, tuple structs, unit structs, and enums with unit, tuple
+//! and struct variants; plus the `#[serde(skip)]` field attribute (skipped
+//! on serialize, `Default::default()` on deserialize). Generics are not
+//! supported — no derived type in the workspace is generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse_item(input);
+    gen_serialize(&p).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse_item(input);
+    gen_deserialize(&p).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consume leading attributes; return true if any is `#[serde(skip)]`.
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Punct(bang)) = toks.get(*i) {
+            if bang.as_char() == '!' {
+                *i += 1;
+            }
+        }
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        if args.stream().to_string().contains("skip") {
+                            skip = true;
+                        }
+                    }
+                }
+            }
+            *i += 1;
+        }
+    }
+    skip
+}
+
+fn eat_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> String {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skip tokens of a type expression until a top-level comma (angle-bracket
+/// aware — commas inside `<...>` belong to the type).
+fn eat_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i);
+        eat_vis(&toks, &mut i);
+        let name = ident_at(&toks, i);
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected ':' after field `{name}`, found {other:?}"),
+        }
+        eat_type(&toks, &mut i);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i);
+        eat_vis(&toks, &mut i);
+        eat_type(&toks, &mut i);
+        fields.push(Field {
+            name: fields.len().to_string(),
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        eat_attrs(&toks, &mut i);
+        let name = ident_at(&toks, i);
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream()).len();
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    eat_attrs(&toks, &mut i);
+    eat_vis(&toks, &mut i);
+    let kw = ident_at(&toks, i);
+    i += 1;
+    let name = ident_at(&toks, i);
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    };
+    Parsed { name, shape }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Named(fields) => {
+            let mut s = String::from(
+                "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::json::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__o.push((::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::json::Value::Obj(__o)");
+            s
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Tuple(fields) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::json::Value::Arr(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => "::serde::json::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::json::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::json::Value::Arr(::std::vec::Vec::from([{}]))",
+                                items.join(", ")
+                            )
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::json::Value::Obj(::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), {inner})])),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::json::Value::Obj(::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), ::serde::json::Value::Obj(::std::vec::Vec::from([{fields}])))])),\n",
+                            binds = binds.join(", "),
+                            fields = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::core::default::Default::default()", f.name)
+                    } else {
+                        format!("{n}: ::serde::json::field(__value, \"{n}\")?", n = f.name)
+                    }
+                })
+                .collect();
+            format!("::core::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::Tuple(fields) => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __value.as_array().ok_or_else(|| ::serde::json::Error::msg(\"expected array for {name}\"))?;\n\
+                 if __a.len() != {n} {{ return ::core::result::Result::Err(::serde::json::Error::msg(\"wrong arity for {name}\")); }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::core::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ));
+                }
+            }
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __a = __inner.as_array().ok_or_else(|| ::serde::json::Error::msg(\"expected array variant\"))?;\n\
+                                 if __a.len() != {n} {{ return ::core::result::Result::Err(::serde::json::Error::msg(\"wrong variant arity\")); }}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({items}))\n\
+                             }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::core::default::Default::default()", f.name)
+                                } else {
+                                    format!(
+                                        "{n}: ::serde::json::field(__inner, \"{n}\")?",
+                                        n = f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::json::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::core::result::Result::Err(::serde::json::Error::msg(\"unknown unit variant\")),\n\
+                     }},\n\
+                     __v => {{\n\
+                         let (__k, __inner) = ::serde::json::variant(__v).ok_or_else(|| ::serde::json::Error::msg(\"expected enum object for {name}\"))?;\n\
+                         match __k {{\n\
+                             {payload_arms}\
+                             _ => ::core::result::Result::Err(::serde::json::Error::msg(\"unknown variant\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unreachable_patterns, unreachable_code, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::json::Value) -> ::core::result::Result<Self, ::serde::json::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

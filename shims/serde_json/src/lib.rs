@@ -1,0 +1,59 @@
+//! Offline stand-in for `serde_json`, backed by the `serde` shim's value
+//! model (`serde::json`). Provides the handful of entry points the
+//! workspace uses: `to_string`, `to_string_pretty`, `from_str`, `Value`.
+
+pub use serde::json::{Error, Value};
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_compact())
+}
+
+/// Serialize to pretty (2-space indented) JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::json::parse(s)?;
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let src = r#"{"a": [1, -2, 3.5, "x\n", true, null], "b": {"c": 7}}"#;
+        let v: Value = from_str(src).unwrap();
+        assert_eq!(v["a"][0], 1);
+        assert_eq!(v["a"][1], -2);
+        assert_eq!(v["a"][2], 3.5);
+        assert_eq!(v["a"][3], "x\n");
+        assert_eq!(v["b"]["c"], 7);
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+        let back_pretty: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back_pretty, v);
+    }
+
+    #[test]
+    fn vec_of_pairs_roundtrip() {
+        let xs: Vec<(f64, f64)> = vec![(0.5, 1.25), (2.0, 3.0)];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<(f64, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let x: Option<u64> = None;
+        assert_eq!(to_string(&x).unwrap(), "null");
+        let y: Option<u64> = from_str("null").unwrap();
+        assert_eq!(y, None);
+        let z: Option<u64> = from_str("42").unwrap();
+        assert_eq!(z, Some(42));
+    }
+}
