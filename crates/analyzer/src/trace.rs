@@ -44,10 +44,7 @@ impl TraceRecord {
                 t.purpose,
                 t.payload
             ),
-            TraceEvent::Dllp(d) => format!(
-                "{:>14.3} ns  {dir}  DLLP  {d:?}",
-                self.at.as_ns_f64()
-            ),
+            TraceEvent::Dllp(d) => format!("{:>14.3} ns  {dir}  DLLP  {d:?}", self.at.as_ns_f64()),
         }
     }
 }
@@ -301,7 +298,11 @@ mod tests {
         a.extend([
             record_tlp(10.0, LinkDirection::Downstream, Tlp::pio_chunk(TlpId(0))),
             record_tlp(50.0, LinkDirection::Upstream, Tlp::cqe_write(TlpId(1))),
-            record_dllp(60.0, LinkDirection::Downstream, Dllp::Ack { up_to: TlpId(1) }),
+            record_dllp(
+                60.0,
+                LinkDirection::Downstream,
+                Dllp::Ack { up_to: TlpId(1) },
+            ),
             record_tlp(300.0, LinkDirection::Downstream, Tlp::pio_chunk(TlpId(2))),
         ]);
         let deltas = a.injection_deltas();
@@ -332,7 +333,11 @@ mod tests {
         a.extend([
             record_tlp(0.0, LinkDirection::Upstream, Tlp::cqe_write(TlpId(1))),
             // ACK for a different TLP: must not match.
-            record_dllp(100.0, LinkDirection::Downstream, Dllp::Ack { up_to: TlpId(2) }),
+            record_dllp(
+                100.0,
+                LinkDirection::Downstream,
+                Dllp::Ack { up_to: TlpId(2) },
+            ),
         ]);
         assert!(a.pcie_one_way_samples().is_empty());
     }
@@ -456,7 +461,11 @@ mod tests {
     #[test]
     fn clear_resets_capture() {
         let mut a = PcieAnalyzer::new();
-        a.extend([record_tlp(1.0, LinkDirection::Downstream, Tlp::pio_chunk(TlpId(0)))]);
+        a.extend([record_tlp(
+            1.0,
+            LinkDirection::Downstream,
+            Tlp::pio_chunk(TlpId(0)),
+        )]);
         a.clear();
         assert!(a.is_empty());
     }

@@ -13,7 +13,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     // Correctness gates + printed artifacts.
     let m = ScalingModel::new(Calibration::default());
-    println!("network-majority crossover: {:?} bytes", m.crossover_size(0.5));
+    println!(
+        "network-majority crossover: {:?} bytes",
+        m.crossover_size(0.5)
+    );
     for profile in [
         ("baseline", Calibration::default()),
         ("integrated NIC SoC", profiles::integrated_nic_soc()),

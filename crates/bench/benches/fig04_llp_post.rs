@@ -23,8 +23,15 @@ fn bench(c: &mut Criterion) {
         let mut tap = NullTap;
         b.iter(|| {
             black_box(
-                w.post(&mut cluster, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap)
-                    .unwrap(),
+                w.post(
+                    &mut cluster,
+                    Opcode::RdmaWrite,
+                    NodeId(1),
+                    8,
+                    true,
+                    &mut tap,
+                )
+                .unwrap(),
             );
             // Keep memory bounded.
             cluster.advance_to(w.now(), &mut tap);

@@ -42,12 +42,11 @@ fn bench(c: &mut Criterion) {
         let mut t = SimTime::from_ns(1);
         let mut wr = 0u64;
         b.iter(|| {
-            let desc =
-                PostDescriptor::pio_inline(WrId(wr), Opcode::RdmaWrite, NodeId(1), 8);
+            let desc = PostDescriptor::pio_inline(WrId(wr), Opcode::RdmaWrite, NodeId(1), 8);
             wr += 1;
             cluster.post(t, NodeId(0), desc, &mut tap);
             cluster.run_until_idle(&mut tap);
-            t = t + SimDuration::from_ns(3_000);
+            t += SimDuration::from_ns(3_000);
             black_box(cluster.pop_cqe(NodeId(0), QpId(0)))
         })
     });

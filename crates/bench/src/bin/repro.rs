@@ -11,6 +11,7 @@
 //! repro --json DIR fig13   # also write machine-readable artifacts
 //! repro --timing-json P all  # write per-figure wall-clock to P
 //! repro --seed 7 fig7      # re-seed every stochastic experiment
+//! repro --faults plan.json loss  # inject a fault plan (loss sweep etc.)
 //! ```
 //!
 //! Figures are independent simulations, so the harness fans them out
@@ -21,8 +22,10 @@
 
 use bband_bench::{run_target, Scale, ALL_TARGETS};
 use bband_core::whatif::Component;
-use bband_core::{Calibration, EndToEndLatencyModel, InjectionModel, OverallInjectionModel, WhatIf};
-use bband_report::{breakdown_json, curves_json, to_json};
+use bband_core::{
+    Calibration, EndToEndLatencyModel, FaultPlan, InjectionModel, OverallInjectionModel, WhatIf,
+};
+use bband_report::{breakdown_json, curves_json, loss_sweep_json, to_json};
 use bband_sim::WorkerPool;
 use serde_json::Value;
 use std::path::Path;
@@ -61,9 +64,20 @@ fn main() {
         });
         bband_microbench::set_seed_override(seed);
     }
+    if let Some(path) = flag_value("--faults") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("--faults: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let plan = FaultPlan::from_json_str(&text).unwrap_or_else(|e| {
+            eprintln!("--faults: {path} is not a valid fault plan: {e:?}");
+            std::process::exit(2);
+        });
+        bband_core::fault::set_plan_override(plan);
+    }
     if args.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--serial] [--seed N] [--json DIR] [--timing-json PATH] <target>... | all"
+            "usage: repro [--quick] [--serial] [--seed N] [--faults PLAN.json] [--json DIR] [--timing-json PATH] <target>... | all"
         );
         eprintln!("targets: {}", ALL_TARGETS.join(" "));
         std::process::exit(2);
@@ -92,7 +106,7 @@ fn main() {
     let results: Vec<(String, Option<String>, f64)> = pool.map(targets.clone(), |_, t| {
         let t0 = Instant::now();
         let text = run_target(t, scale);
-        let artifact = json_dir.as_ref().and_then(|_| json_artifact(t));
+        let artifact = json_dir.as_ref().and_then(|_| json_artifact(t, scale));
         (text, artifact, t0.elapsed().as_secs_f64())
     });
     let total = started.elapsed().as_secs_f64();
@@ -122,21 +136,31 @@ fn main() {
         let doc = Value::Obj(vec![
             (
                 "scale".into(),
-                Value::Str(if scale == Scale::Quick { "quick" } else { "full" }.into()),
+                Value::Str(
+                    if scale == Scale::Quick {
+                        "quick"
+                    } else {
+                        "full"
+                    }
+                    .into(),
+                ),
             ),
             ("threads".into(), Value::UInt(pool.threads() as u64)),
             ("total_ms".into(), Value::Float(total * 1e3)),
             ("targets".into(), Value::Arr(per_target)),
         ]);
-        std::fs::write(path, serde_json::to_string_pretty(&doc).expect("render timings"))
-            .expect("write timing json");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&doc).expect("render timings"),
+        )
+        .expect("write timing json");
         eprintln!("wrote {path}");
     }
 }
 
 /// Machine-readable form of the analytical targets (those with a stable
 /// schema; trace/distribution targets export through the library API).
-fn json_artifact(target: &str) -> Option<String> {
+fn json_artifact(target: &str, scale: Scale) -> Option<String> {
     let c = Calibration::default();
     let w = WhatIf::new(c.clone());
     let panel = |comps: &[Component], latency: bool, title: &str| {
@@ -167,6 +191,12 @@ fn json_artifact(target: &str) -> Option<String> {
         "fig17b" => panel(&Component::FIG17B, true, "fig17b"),
         "fig17c" => panel(&Component::FIG17C, true, "fig17c"),
         "fig17d" => panel(&Component::FIG17D, true, "fig17d"),
+        // Recomputed with the same plan/seed/scale as the rendered text;
+        // identical inputs give identical points.
+        "loss" => to_json(&loss_sweep_json(
+            "latency_under_loss",
+            &bband_bench::loss_sweep(scale),
+        )),
         _ => return None,
     })
 }

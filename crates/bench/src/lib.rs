@@ -2,6 +2,7 @@
 //! benches: one function per table/figure of the paper, each returning the
 //! rendered text that regenerates it.
 
+use bband_core::fault;
 use bband_core::latency::Category;
 use bband_core::validate::{validate_all, ValidationScale};
 use bband_core::whatif::Component;
@@ -15,7 +16,8 @@ use bband_microbench::{
     StackConfig,
 };
 use bband_mpi::{collective_scaling, Collective};
-use bband_report::{render_bar, render_curves, render_histogram, render_table1};
+use bband_report::{render_bar, render_curves, render_histogram, render_loss_sweep, render_table1};
+use bband_sim::WorkerPool;
 
 /// Experiment scale: quick (tests) or full (the harness default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,9 +53,7 @@ pub fn fig6(scale: Scale) -> String {
         warmup: 0,
         ..Default::default()
     });
-    let mut out = String::from(
-        "Figure 6: PCIe trace of downstream PCIe transactions (put_bw)\n",
-    );
+    let mut out = String::from("Figure 6: PCIe trace of downstream PCIe transactions (put_bw)\n");
     let downstream = report.analyzer.downstream_tlps(None);
     for rec in downstream.iter().take(12) {
         out.push_str(&rec.render());
@@ -281,8 +281,10 @@ pub fn ext_crossover() -> String {
         &StackConfig::validation(),
         &[4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024],
     );
-    let mut out = String::from("Eager vs rendezvous (measured, deterministic)
-");
+    let mut out = String::from(
+        "Eager vs rendezvous (measured, deterministic)
+",
+    );
     for (p, e, r) in rows {
         out.push_str(&format!(
             "  {p:>8} B  eager {e:>10.1} ns  rndv {r:>10.1} ns  -> {}
@@ -296,8 +298,10 @@ pub fn ext_crossover() -> String {
 /// Multi-core credit-exhaustion onset (§4.2's excluded regime).
 pub fn ext_multicore() -> String {
     let onset = credit_exhaustion_onset(&StackConfig::validation(), &[1, 4, 16, 64, 128]);
-    let mut out = String::from("Multi-core injection: RC posted-credit exhaustion
-");
+    let mut out = String::from(
+        "Multi-core injection: RC posted-credit exhaustion
+",
+    );
     for (cores, stalled) in onset {
         out.push_str(&format!(
             "  {cores:>4} cores: {}
@@ -340,19 +344,30 @@ pub fn ext_collectives(scale: Scale) -> String {
 
 /// Alternative system profiles (the §7 optimizations as whole systems).
 pub fn ext_profiles() -> String {
-    let mut out = String::from("Alternative system calibrations (end-to-end latency)
-");
+    let mut out = String::from(
+        "Alternative system calibrations (end-to-end latency)
+",
+    );
     for (name, c) in [
         ("ThunderX2 + ConnectX-4 (paper)", Calibration::default()),
-        ("integrated-NIC SoC (Tofu-D-like)", profiles::integrated_nic_soc()),
-        ("strongly-ordered CPU (x86-TSO)", profiles::strongly_ordered_cpu()),
+        (
+            "integrated-NIC SoC (Tofu-D-like)",
+            profiles::integrated_nic_soc(),
+        ),
+        (
+            "strongly-ordered CPU (x86-TSO)",
+            profiles::strongly_ordered_cpu(),
+        ),
         ("fast device memory", profiles::fast_device_memory()),
         ("GenZ-class switch (30 ns)", profiles::genz_switch()),
         ("PAM4 + FEC interconnect", profiles::pam4_fec_interconnect()),
     ] {
         let m = EndToEndLatencyModel::from_calibration(&c);
-        out.push_str(&format!("  {name:<34} {}
-", m.total()));
+        out.push_str(&format!(
+            "  {name:<34} {}
+",
+            m.total()
+        ));
     }
     out
 }
@@ -360,8 +375,10 @@ pub fn ext_profiles() -> String {
 /// §6's four insights, evaluated on the calibrated system and on the
 /// integrated-NIC profile (where insight 3 weakens — the point of §7.1).
 pub fn ext_insights() -> String {
-    let mut out = String::from("Section 6 insights (calibrated system):
-");
+    let mut out = String::from(
+        "Section 6 insights (calibrated system):
+",
+    );
     for i in bband_core::insights::all(&Calibration::default()) {
         out.push_str(&format!(
             "  [{}] Insight {}: {} (value {:.2})
@@ -372,8 +389,10 @@ pub fn ext_insights() -> String {
             i.value
         ));
     }
-    out.push_str("on the integrated-NIC SoC profile:
-");
+    out.push_str(
+        "on the integrated-NIC SoC profile:
+",
+    );
     for i in bband_core::insights::all(&profiles::integrated_nic_soc()) {
         out.push_str(&format!(
             "  [{}] Insight {}: value {:.2}
@@ -386,11 +405,69 @@ pub fn ext_insights() -> String {
     out
 }
 
+/// Extension: end-to-end latency under fabric loss — the fault-injection
+/// sweep. The base plan comes from [`bband_core::fault::active_plan`]
+/// (the `repro --faults` override, or fault-free), with the fabric loss
+/// probability swept over [`fault::DEFAULT_LOSS_GRID`]; each grid point is
+/// one pool task with an RNG stream derived from `(seed, index)`, so
+/// pooled and `--serial` runs emit identical bytes.
+pub fn ext_loss(scale: Scale) -> String {
+    let base = fault::active_plan();
+    let mut out = render_loss_sweep(
+        "Latency under fabric loss (8-byte messages, go-back-N recovery)",
+        &loss_sweep(scale),
+    );
+    if !base.is_zero() {
+        out.push_str("  (active fault plan injects additional faults via --faults)\n");
+    }
+    out
+}
+
+/// The `latency_under_loss` sweep at a given scale, under the active fault
+/// plan and seed override. Shared by [`ext_loss`] and the `repro` JSON
+/// artifact so both emit identical points.
+pub fn loss_sweep(scale: Scale) -> Vec<bband_core::LossPoint> {
+    let messages = match scale {
+        Scale::Quick => 120,
+        Scale::Full => 1_000,
+    };
+    fault::latency_under_loss(
+        &Calibration::default(),
+        &fault::active_plan(),
+        &fault::DEFAULT_LOSS_GRID,
+        messages,
+        StackConfig::default().seed,
+        &WorkerPool::new(),
+    )
+}
+
 /// Every figure id the harness knows.
-pub const ALL_TARGETS: [&str; 24] = [
-    "table1", "fig4", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig17a", "fig17b", "fig17c", "fig17d", "claims", "validate", "scaling",
-    "crossover", "multicore", "collectives", "profiles", "insights",
+pub const ALL_TARGETS: [&str; 25] = [
+    "table1",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17a",
+    "fig17b",
+    "fig17c",
+    "fig17d",
+    "claims",
+    "validate",
+    "scaling",
+    "crossover",
+    "multicore",
+    "collectives",
+    "profiles",
+    "insights",
+    "loss",
 ];
 
 /// Run one target by name.
@@ -420,6 +497,7 @@ pub fn run_target(name: &str, scale: Scale) -> String {
         "collectives" => ext_collectives(scale),
         "profiles" => ext_profiles(),
         "insights" => ext_insights(),
+        "loss" => ext_loss(scale),
         other => panic!("unknown target {other}; known: {ALL_TARGETS:?}"),
     }
 }

@@ -1,0 +1,86 @@
+//! Determinism contract of the fault-injection path: the `loss` sweep
+//! must be byte-identical between pooled and `--serial` runs (stdout and
+//! `--json` artifact alike), and an all-zero `--faults` plan must leave
+//! the harness output untouched — the fast calibrated path and the
+//! fault engine agree bit-exactly when nothing is injected.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_loss(seed: u64, serial: bool, dir: &Path, faults: Option<&Path>) -> (Vec<u8>, Vec<u8>) {
+    std::fs::create_dir_all(dir).expect("create artifact dir");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.arg("--quick")
+        .arg("--seed")
+        .arg(seed.to_string())
+        .arg("--json")
+        .arg(dir);
+    if serial {
+        cmd.arg("--serial");
+    }
+    if let Some(plan) = faults {
+        cmd.arg("--faults").arg(plan);
+    }
+    cmd.arg("loss");
+    let out = cmd.output().expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro loss failed (seed {seed}, serial {serial}): {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let artifact = std::fs::read(dir.join("loss.json")).expect("loss.json artifact");
+    (out.stdout, artifact)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fault-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn loss_sweep_is_byte_identical_between_pool_and_serial() {
+    let mut runs = BTreeMap::new();
+    for seed in [5u64, 23] {
+        let par_dir = scratch(&format!("par-{seed}"));
+        let ser_dir = scratch(&format!("ser-{seed}"));
+        let par = run_loss(seed, false, &par_dir, None);
+        let ser = run_loss(seed, true, &ser_dir, None);
+        assert_eq!(
+            par, ser,
+            "seed {seed}: pooled loss sweep diverged from --serial"
+        );
+        let _ = std::fs::remove_dir_all(&par_dir);
+        let _ = std::fs::remove_dir_all(&ser_dir);
+        runs.insert(seed, par);
+    }
+    assert_ne!(
+        runs[&5u64], runs[&23u64],
+        "--seed had no effect on the loss sweep"
+    );
+}
+
+#[test]
+fn zero_fault_plan_leaves_output_unchanged() {
+    let plan_path = scratch("plan").with_extension("json");
+    std::fs::write(
+        &plan_path,
+        // Sparse plan: every omitted field defaults to "no fault".
+        "{\"loss_probability\": 0.0, \"corruption_probability\": 0.0}\n",
+    )
+    .expect("write zero-fault plan");
+
+    let bare_dir = scratch("bare");
+    let plan_dir = scratch("planned");
+    let bare = run_loss(7, false, &bare_dir, None);
+    let planned = run_loss(7, false, &plan_dir, Some(&plan_path));
+    assert_eq!(
+        bare, planned,
+        "an all-zero fault plan must be a no-op on stdout and artifacts"
+    );
+
+    let _ = std::fs::remove_dir_all(&bare_dir);
+    let _ = std::fs::remove_dir_all(&plan_dir);
+    let _ = std::fs::remove_file(&plan_path);
+}

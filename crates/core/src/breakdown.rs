@@ -59,10 +59,7 @@ impl Breakdown {
 
     /// Value of a named component.
     pub fn get(&self, name: &str) -> Option<SimDuration> {
-        self.items
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+        self.items.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
     }
 
     /// Percentage of a named component.

@@ -24,9 +24,8 @@ pub fn rx_wait_split(c: &Calibration) -> Breakdown {
     // reports 293.29 ns. The spin portion is whatever the loop burned:
     // reconstruct it as the published total minus the known pieces so the
     // calibration stays a single source of truth for the split.
-    let mpich_spin = bband_sim::SimDuration::from_ns_f64(293.29)
-        - c.mpich.recv_callback
-        - c.mpich.wait_epilogue;
+    let mpich_spin =
+        bband_sim::SimDuration::from_ns_f64(293.29) - c.mpich.recv_callback - c.mpich.wait_epilogue;
     let mpich_total = c.mpich.recv_callback + c.mpich.wait_epilogue + mpich_spin;
     Breakdown::new("RX MPI_Wait HLP split (Fig. 11)")
         .with("UCP", ucp_total)

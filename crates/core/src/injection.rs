@@ -124,7 +124,11 @@ mod tests {
     #[test]
     fn eq1_total_is_295_73() {
         let m = InjectionModel::from_calibration(&Calibration::default());
-        assert!((m.total().as_ns_f64() - 295.73).abs() < 0.01, "{}", m.total());
+        assert!(
+            (m.total().as_ns_f64() - 295.73).abs() < 0.01,
+            "{}",
+            m.total()
+        );
         assert!((m.misc().as_ns_f64() - 58.68).abs() < 0.01);
     }
 
@@ -143,7 +147,11 @@ mod tests {
     #[test]
     fn eq2_total_is_264_97() {
         let m = OverallInjectionModel::from_calibration(&Calibration::default());
-        assert!((m.total().as_ns_f64() - 264.97).abs() < 0.01, "{}", m.total());
+        assert!(
+            (m.total().as_ns_f64() - 264.97).abs() < 0.01,
+            "{}",
+            m.total()
+        );
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! which is precisely why that optimization matters.
 
 use crate::calibration::Calibration;
+use crate::hlp_breakdown;
 use crate::injection::OverallInjectionModel;
 use crate::latency::{Category, EndToEndLatencyModel};
-use crate::hlp_breakdown;
 use serde::Serialize;
 
 /// One evaluated insight.
@@ -122,7 +122,10 @@ mod tests {
         let soc = EndToEndLatencyModel::from_calibration(&profiles::integrated_nic_soc());
         let base_io = base.target_split().pct("I/O").unwrap();
         let soc_io = soc.target_split().pct("I/O").unwrap();
-        assert!(base_io > 50.0, "paper's target is I/O-dominated: {base_io:.1}%");
+        assert!(
+            base_io > 50.0,
+            "paper's target is I/O-dominated: {base_io:.1}%"
+        );
         assert!(
             soc_io < 50.0,
             "SoC target should flip to CPU-dominated: {soc_io:.1}%"

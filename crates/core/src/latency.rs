@@ -55,12 +55,7 @@ impl LlpLatencyModel {
 
     /// Modeled latency (1135.8 ns).
     pub fn total(&self) -> SimDuration {
-        self.llp_post
-            + self.pcie * 2
-            + self.wire
-            + self.switch
-            + self.rc_to_mem
-            + self.llp_prog
+        self.llp_post + self.pcie * 2 + self.wire + self.switch + self.rc_to_mem + self.llp_prog
     }
 
     /// Figure 10's breakdown (the paper's Fig. 10 omits `LLP_prog` from
@@ -152,8 +147,7 @@ impl EndToEndLatencyModel {
     /// on-node portion only — network excluded).
     pub fn on_node_breakdown(&self) -> Breakdown {
         let initiator = self.hlp_post + self.llp.llp_post + self.llp.pcie;
-        let target =
-            self.llp.pcie + self.llp.rc_to_mem + self.llp.llp_prog + self.hlp_rx_prog;
+        let target = self.llp.pcie + self.llp.rc_to_mem + self.llp.llp_prog + self.hlp_rx_prog;
         Breakdown::new("On-node time (Fig. 16)")
             .with("Initiator", initiator)
             .with("Target", target)
@@ -192,7 +186,11 @@ mod tests {
     #[test]
     fn llp_latency_totals_1135_8() {
         let m = LlpLatencyModel::from_calibration(&Calibration::default());
-        assert!((m.total().as_ns_f64() - 1135.8).abs() < 0.05, "{}", m.total());
+        assert!(
+            (m.total().as_ns_f64() - 1135.8).abs() < 0.05,
+            "{}",
+            m.total()
+        );
     }
 
     #[test]
@@ -275,8 +273,8 @@ mod tests {
         // §6 Insight 2: CPU + I/O = 72.4% of the latency; network < 1/3.
         let m = e2e();
         let total = m.total().as_ns_f64();
-        let on_node = (m.category_total(Category::Cpu) + m.category_total(Category::Io))
-            .as_ns_f64();
+        let on_node =
+            (m.category_total(Category::Cpu) + m.category_total(Category::Io)).as_ns_f64();
         assert!((on_node / total * 100.0 - 72.4).abs() < 0.1);
         assert!(m.category_total(Category::Network).as_ns_f64() / total < 1.0 / 3.0);
     }

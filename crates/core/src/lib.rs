@@ -11,6 +11,9 @@
 //! * [`latency`] — the LLP-level latency model (§4.3) and the end-to-end
 //!   model (§6), plus the CPU/I-O/Network category rollups of Figures
 //!   15–16;
+//! * [`fault`] — fault injection and recovery threaded into the
+//!   end-to-end path: serializable [`FaultPlan`]s, the discrete-event
+//!   recovery simulation, and the `latency_under_loss` sweep;
 //! * [`hlp_breakdown`] — the HLP-vs-LLP and MPICH-vs-UCP splits of
 //!   Figures 11 and 14;
 //! * [`whatif`] — the §7 simulated-optimization engine behind Figure 17,
@@ -20,6 +23,7 @@
 
 pub mod breakdown;
 pub mod calibration;
+pub mod fault;
 pub mod hlp_breakdown;
 pub mod injection;
 pub mod insights;
@@ -31,8 +35,9 @@ pub mod whatif;
 
 pub use breakdown::Breakdown;
 pub use calibration::Calibration;
+pub use fault::{FaultPlan, FaultRunStats, LossPoint, RetryExhausted, RetryPolicy};
 pub use injection::{InjectionModel, OverallInjectionModel};
 pub use latency::{Category, EndToEndLatencyModel, LlpLatencyModel};
-pub use validate::{validate_all, ValidationReport};
 pub use scaling::ScalingModel;
+pub use validate::{validate_all, ValidationReport};
 pub use whatif::{Component, WhatIf};

@@ -43,8 +43,11 @@ pub fn integrated_nic_soc() -> Calibration {
 /// nothing; everything else unchanged.
 pub fn strongly_ordered_cpu() -> Calibration {
     let mut c = Calibration::thunderx2_connectx4();
-    c.llp = LlpCosts::thunderx2(&BarrierModel::strongly_ordered(), &WriteCostModel::default())
-        .deterministic();
+    c.llp = LlpCosts::thunderx2(
+        &BarrierModel::strongly_ordered(),
+        &WriteCostModel::default(),
+    )
+    .deterministic();
     // The load barrier saving inside LLP_prog: keep the paper's measured
     // LLP_prog minus its ~42 ns load-barrier share.
     c.llp.prog = SimDuration::from_ns_f64(61.63 - 42.0);
@@ -78,11 +81,13 @@ pub fn pam4_fec_interconnect() -> Calibration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::latency::EndToEndLatencyModel;
     use crate::injection::InjectionModel;
+    use crate::latency::EndToEndLatencyModel;
 
     fn e2e(c: &Calibration) -> f64 {
-        EndToEndLatencyModel::from_calibration(c).total().as_ns_f64()
+        EndToEndLatencyModel::from_calibration(c)
+            .total()
+            .as_ns_f64()
     }
 
     #[test]

@@ -222,7 +222,11 @@ mod tests {
         // it dominates outright.
         let m = model();
         assert!(m.network_share(8) < 0.35, "{}", m.network_share(8));
-        assert!(m.network_share(1 << 20) > 0.7, "{}", m.network_share(1 << 20));
+        assert!(
+            m.network_share(1 << 20) > 0.7,
+            "{}",
+            m.network_share(1 << 20)
+        );
     }
 
     #[test]

@@ -144,7 +144,9 @@ pub fn validate_all(c: &Calibration, scale: ValidationScale, jittered: bool) -> 
     let observed_overall = r.inj_overhead.as_ns_f64();
 
     // 4) End-to-end latency vs OSU latency.
-    let model_e2e = EndToEndLatencyModel::from_calibration(c).total().as_ns_f64();
+    let model_e2e = EndToEndLatencyModel::from_calibration(c)
+        .total()
+        .as_ns_f64();
     let r = osu_latency(&OsuLatConfig {
         stack: stack(),
         iterations: scale.osu_lat_iterations,
@@ -155,9 +157,19 @@ pub fn validate_all(c: &Calibration, scale: ValidationScale, jittered: bool) -> 
 
     ValidationReport {
         rows: vec![
-            ValidationRow::new("LLP injection overhead (Eq. 1)", model_inj, observed_inj, 0.05),
+            ValidationRow::new(
+                "LLP injection overhead (Eq. 1)",
+                model_inj,
+                observed_inj,
+                0.05,
+            ),
             ValidationRow::new("LLP latency (am_lat)", model_lat, observed_lat, 0.05),
-            ValidationRow::new("overall injection (Eq. 2)", model_overall, observed_overall, 0.05),
+            ValidationRow::new(
+                "overall injection (Eq. 2)",
+                model_overall,
+                observed_overall,
+                0.05,
+            ),
             ValidationRow::new("end-to-end latency (OSU)", model_e2e, observed_e2e, 0.05),
         ],
     }

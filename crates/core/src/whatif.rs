@@ -76,8 +76,11 @@ impl Component {
     ];
 
     /// Components on Figure 17c (latency, I/O).
-    pub const FIG17C: [Component; 3] =
-        [Component::IntegratedNic, Component::Pcie, Component::RcToMem];
+    pub const FIG17C: [Component; 3] = [
+        Component::IntegratedNic,
+        Component::Pcie,
+        Component::RcToMem,
+    ];
 
     /// Components on Figure 17d (latency, network).
     pub const FIG17D: [Component; 2] = [Component::Wire, Component::Switch];
@@ -200,12 +203,7 @@ impl WhatIf {
     }
 
     /// One full curve for a figure panel.
-    pub fn curve(
-        &self,
-        component: Component,
-        latency: bool,
-        grid: &[f64],
-    ) -> Vec<Point> {
+    pub fn curve(&self, component: Component, latency: bool, grid: &[f64]) -> Vec<Point> {
         grid.iter()
             .map(|&r| Point {
                 reduction: r,
@@ -256,10 +254,8 @@ impl WhatIf {
             Component::Wire,
             Component::Switch,
         ];
-        let tasks: Vec<(Component, bool)> = all
-            .iter()
-            .flat_map(|&c| [(c, false), (c, true)])
-            .collect();
+        let tasks: Vec<(Component, bool)> =
+            all.iter().flat_map(|&c| [(c, false), (c, true)]).collect();
         let grid: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
         WorkerPool::new().map(tasks, |_, (comp, latency)| {
             (comp, latency, self.curve(comp, latency, &grid))
@@ -314,7 +310,9 @@ impl WhatIf {
         });
         // "over a 15% improvement in overall latency even with a modest 50%
         // reduction in I/O time" (integrated NIC).
-        let nic50 = self.latency_speedup(Component::IntegratedNic, 0.50).unwrap();
+        let nic50 = self
+            .latency_speedup(Component::IntegratedNic, 0.50)
+            .unwrap();
         claims.push(Claim {
             name: "Integrated NIC -50% I/O => latency speedup > 15%",
             speedup_pct: nic50,

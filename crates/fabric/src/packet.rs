@@ -118,13 +118,7 @@ mod tests {
 
     #[test]
     fn ack_reverses_path_and_links_message() {
-        let msg = Packet::message(
-            PacketId(7),
-            PacketKind::Send,
-            NodeId(1),
-            NodeId(2),
-            8,
-        );
+        let msg = Packet::message(PacketId(7), PacketKind::Send, NodeId(1), NodeId(2), 8);
         let ack = msg.ack_for(PacketId(8));
         assert_eq!(ack.src, NodeId(2));
         assert_eq!(ack.dst, NodeId(1));

@@ -154,8 +154,16 @@ impl NetworkModel {
     /// Total egress-contention events across all switch instances.
     pub fn total_contention(&self) -> u64 {
         self.switch.contended
-            + self.leaf_switches.values().map(|s| s.contended).sum::<u64>()
-            + self.spine_switches.values().map(|s| s.contended).sum::<u64>()
+            + self
+                .leaf_switches
+                .values()
+                .map(|s| s.contended)
+                .sum::<u64>()
+            + self
+                .spine_switches
+                .values()
+                .map(|s| s.contended)
+                .sum::<u64>()
     }
 }
 

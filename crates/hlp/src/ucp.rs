@@ -212,7 +212,15 @@ impl UcpWorker {
                 },
             );
             let rts = rndv::encode(CtrlKind::Rts, rndv_id, tag as u32);
-            self.post_internal(cluster, dst, CTRL_BYTES, rts, Opcode::Send, InternalOp::Ctrl, tap);
+            self.post_internal(
+                cluster,
+                dst,
+                CTRL_BYTES,
+                rts,
+                Opcode::Send,
+                InternalOp::Ctrl,
+                tap,
+            );
             return req;
         }
         // Eager beyond the inline limit: the payload is packed into a
@@ -288,6 +296,7 @@ impl UcpWorker {
 
     /// Post a protocol-internal operation (control message or rendezvous
     /// data). Always signaled — protocol steps drive state machines.
+    #[allow(clippy::too_many_arguments)]
     fn post_internal(
         &mut self,
         cluster: &mut Cluster,
@@ -337,7 +346,8 @@ impl UcpWorker {
             Some((req, ArrivedMsg::Rts { src, rndv_id }, tag)) => {
                 // Late receive matching a parked RTS: answer with CTS at
                 // the next progress (no cluster handle in this call).
-                self.rndv_recv.insert(rndv_id, RndvRecv { user_req: req, tag });
+                self.rndv_recv
+                    .insert(rndv_id, RndvRecv { user_req: req, tag });
                 self.pending_ctrl
                     .push_back((src, rndv::encode(CtrlKind::Cts, rndv_id, 0)));
             }
@@ -370,7 +380,15 @@ impl UcpWorker {
         // Emit deferred protocol control messages (e.g. CTS for an RTS
         // matched inside tag_recv_nb).
         while let Some((dst, tag)) = self.pending_ctrl.pop_front() {
-            self.post_internal(cluster, dst, CTRL_BYTES, tag, Opcode::Send, InternalOp::Ctrl, tap);
+            self.post_internal(
+                cluster,
+                dst,
+                CTRL_BYTES,
+                tag,
+                Opcode::Send,
+                InternalOp::Ctrl,
+                tap,
+            );
         }
         // Reschedule busy posts (§6 caveat 1).
         while let Some(p) = self.pending_sends.front().copied() {
@@ -487,12 +505,16 @@ impl UcpWorker {
     ) {
         match kind {
             CtrlKind::Rts => {
-                match self
-                    .matcher
-                    .arrive(low as u64, ArrivedMsg::Rts { src: cqe.src, rndv_id })
-                {
+                match self.matcher.arrive(
+                    low as u64,
+                    ArrivedMsg::Rts {
+                        src: cqe.src,
+                        rndv_id,
+                    },
+                ) {
                     Some((req, ArrivedMsg::Rts { src, rndv_id }, tag)) => {
-                        self.rndv_recv.insert(rndv_id, RndvRecv { user_req: req, tag });
+                        self.rndv_recv
+                            .insert(rndv_id, RndvRecv { user_req: req, tag });
                         let cts = rndv::encode(CtrlKind::Cts, rndv_id, 0);
                         self.post_internal(
                             cluster,
@@ -646,7 +668,9 @@ impl UcpWorker {
         if self.sends_since_signal == 0 || self.outstanding_sends.is_empty() {
             return false;
         }
-        let dst = self.last_dst.expect("outstanding sends imply a destination");
+        let dst = self
+            .last_dst
+            .expect("outstanding sends imply a destination");
         let req = self.alloc_req();
         self.sends_since_signal = 0;
         loop {
@@ -737,10 +761,7 @@ mod tests {
         u0.tag_send_nb(&mut cl, NodeId(1), 8, 1, &mut tap);
         let elapsed = u0.now().since(t0).as_ns_f64();
         // 2.19 (UCP) + 175.42 (LLP_post)
-        assert!(
-            (elapsed - 177.61).abs() < 0.01,
-            "UCP send path = {elapsed}"
-        );
+        assert!((elapsed - 177.61).abs() < 0.01, "UCP send path = {elapsed}");
     }
 
     #[test]
@@ -770,8 +791,10 @@ mod tests {
         let mut cluster = Cluster::two_node_paper(22).deterministic();
         let mut tap = NullTap;
         let uct = Worker::new(NodeId(0), LlpCosts::default().deterministic(), 7);
-        let mut costs = UcpCosts::default();
-        costs.signal_period = 4;
+        let costs = UcpCosts {
+            signal_period: 4,
+            ..Default::default()
+        };
         let mut u0 = UcpWorker::new(uct, costs);
         for _ in 0..8 {
             u0.tag_send_nb(&mut cluster, NodeId(1), 8, 0, &mut tap);
@@ -816,8 +839,10 @@ mod tests {
         let mut cluster = Cluster::two_node_paper(24).deterministic();
         let mut tap = NullTap;
         let uct = Worker::new(NodeId(0), LlpCosts::default().deterministic(), 9);
-        let mut costs = UcpCosts::default();
-        costs.signal_period = 64;
+        let costs = UcpCosts {
+            signal_period: 64,
+            ..Default::default()
+        };
         let mut u0 = UcpWorker::new(uct, costs);
         // 10 sends: none reaches the signal period.
         for _ in 0..10 {

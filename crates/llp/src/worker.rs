@@ -378,7 +378,8 @@ mod tests {
         let (mut cl, mut w, _) = setup();
         let mut tap = NullTap;
         let t0 = w.now();
-        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).unwrap();
+        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap)
+            .unwrap();
         let elapsed = w.now().since(t0).as_ns_f64();
         assert!(
             (elapsed - 175.42).abs() < 0.001,
@@ -390,7 +391,9 @@ mod tests {
     fn put_and_wait_completes() {
         let (mut cl, mut w, _) = setup();
         let mut tap = NullTap;
-        let wr = w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).unwrap();
+        let wr = w
+            .post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap)
+            .unwrap();
         let cqe = w.wait(&mut cl, CqeKind::SendComplete, &mut tap);
         assert_eq!(cqe.wr_id, wr);
         assert_eq!(w.occupancy(), 0);
@@ -402,8 +405,10 @@ mod tests {
         let (mut cl, mut w, _) = setup();
         let mut tap = NullTap;
         w.set_ring_capacity(2);
-        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).unwrap();
-        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).unwrap();
+        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap)
+            .unwrap();
+        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap)
+            .unwrap();
         let t0 = w.now();
         let err = w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap);
         assert_eq!(err, Err(PostError::Busy));
@@ -412,7 +417,9 @@ mod tests {
         // Progressing makes room again.
         w.progress_until_room(&mut cl, &mut tap);
         assert!(w.occupancy() < 2);
-        assert!(w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).is_ok());
+        assert!(w
+            .post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap)
+            .is_ok());
     }
 
     #[test]
@@ -430,7 +437,8 @@ mod tests {
         let (mut cl, mut w0, mut w1) = setup();
         let mut tap = NullTap;
         let rwr = w1.post_recv(&mut cl, 64, &mut tap);
-        w0.post(&mut cl, Opcode::Send, NodeId(1), 8, true, &mut tap).unwrap();
+        w0.post(&mut cl, Opcode::Send, NodeId(1), 8, true, &mut tap)
+            .unwrap();
         let rx = w1.wait(&mut cl, CqeKind::RecvComplete, &mut tap);
         assert_eq!(rx.wr_id, rwr);
         assert_eq!(rx.payload, 8);
@@ -446,10 +454,12 @@ mod tests {
         let mut tap = NullTap;
         w0.post_recv(&mut cl, 64, &mut tap);
         w1.post_recv(&mut cl, 64, &mut tap);
-        w0.post(&mut cl, Opcode::Send, NodeId(1), 8, true, &mut tap).unwrap();
+        w0.post(&mut cl, Opcode::Send, NodeId(1), 8, true, &mut tap)
+            .unwrap();
         // Target receives and pongs.
         w1.wait(&mut cl, CqeKind::RecvComplete, &mut tap);
-        w1.post(&mut cl, Opcode::Send, NodeId(0), 8, true, &mut tap).unwrap();
+        w1.post(&mut cl, Opcode::Send, NodeId(0), 8, true, &mut tap)
+            .unwrap();
         // Initiator waits for the pong: the ping's send CQE arrives first.
         let rx = w0.wait(&mut cl, CqeKind::RecvComplete, &mut tap);
         assert_eq!(rx.kind, CqeKind::RecvComplete);
@@ -488,8 +498,16 @@ mod tests {
         let mut prof = Profiler::new(4);
         let mut tap = NullTap;
         for _ in 0..200 {
-            w.post_profiled(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, &mut prof, None, &mut tap)
-                .unwrap();
+            w.post_profiled(
+                &mut cl,
+                Opcode::RdmaWrite,
+                NodeId(1),
+                8,
+                &mut prof,
+                None,
+                &mut tap,
+            )
+            .unwrap();
             w.wait(&mut cl, CqeKind::SendComplete, &mut tap);
         }
         let total = prof.deducted_mean_ns("llp_post").unwrap();
@@ -501,9 +519,11 @@ mod tests {
         let (mut cl, mut w, _) = setup();
         let mut tap = NullTap;
         for _ in 0..3 {
-            w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, false, &mut tap).unwrap();
+            w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, false, &mut tap)
+                .unwrap();
         }
-        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap).unwrap();
+        w.post(&mut cl, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap)
+            .unwrap();
         assert_eq!(w.occupancy(), 4);
         let cqe = w.wait(&mut cl, CqeKind::SendComplete, &mut tap);
         assert_eq!(cqe.completes, 4);
@@ -565,7 +585,8 @@ mod tests {
         let mut tap = NullTap;
         let t0 = w.now();
         // 100-byte inline payload: 3 chunks (32 B ctrl + 100 B).
-        w.post(&mut cl, Opcode::Send, NodeId(1), 100, true, &mut tap).unwrap();
+        w.post(&mut cl, Opcode::Send, NodeId(1), 100, true, &mut tap)
+            .unwrap();
         let elapsed = w.now().since(t0).as_ns_f64();
         assert!(
             (elapsed - (175.42 + 2.0 * 94.25)).abs() < 0.001,

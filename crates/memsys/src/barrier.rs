@@ -105,10 +105,7 @@ mod tests {
     #[test]
     fn post_path_total_is_sum_of_store_barriers() {
         let m = BarrierModel::default();
-        assert_eq!(
-            m.post_path_total(),
-            SimDuration::from_ns_f64(17.33 + 21.07)
-        );
+        assert_eq!(m.post_path_total(), SimDuration::from_ns_f64(17.33 + 21.07));
     }
 
     #[test]

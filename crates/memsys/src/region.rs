@@ -76,16 +76,9 @@ pub enum RegionError {
     /// DMA/access with an unknown key.
     UnknownKey(MrKey),
     /// Access outside the bounds of the keyed region.
-    OutOfBounds {
-        key: MrKey,
-        addr: u64,
-        len: usize,
-    },
+    OutOfBounds { key: MrKey, addr: u64, len: usize },
     /// Access lacking a required permission.
-    PermissionDenied {
-        key: MrKey,
-        required: &'static str,
-    },
+    PermissionDenied { key: MrKey, required: &'static str },
     /// Deregistration of an unknown key.
     NotRegistered(MrKey),
 }
@@ -197,12 +190,7 @@ impl MemoryMap {
 
     /// Validate a DMA read (NIC fetching payload) and translate its first
     /// byte to a physical address.
-    pub fn validate_dma_read(
-        &self,
-        key: MrKey,
-        addr: u64,
-        len: usize,
-    ) -> Result<u64, RegionError> {
+    pub fn validate_dma_read(&self, key: MrKey, addr: u64, len: usize) -> Result<u64, RegionError> {
         self.validate(key, addr, len, AccessFlags::LOCAL_READ, "local-read")
     }
 
@@ -355,12 +343,7 @@ mod tests {
     fn permission_checks() {
         let mut m = MemoryMap::new();
         let read_only = m
-            .register(
-                0x1000,
-                0x100,
-                AccessFlags::LOCAL_READ,
-                MemoryType::Normal,
-            )
+            .register(0x1000, 0x100, AccessFlags::LOCAL_READ, MemoryType::Normal)
             .unwrap();
         assert!(m.validate_dma_read(read_only, 0x1000, 8).is_ok());
         assert!(matches!(

@@ -80,10 +80,9 @@ impl WriteCostModel {
         match ty {
             MemoryType::Normal => self.normal_per_chunk * chunks,
             MemoryType::DeviceGre => self.device_gre_per_chunk * chunks,
-            MemoryType::DeviceNGre | MemoryType::DeviceNGnRnE => self
-                .device_gre_per_chunk
-                .scale(self.stricter_device_factor)
-                * chunks,
+            MemoryType::DeviceNGre | MemoryType::DeviceNGnRnE => {
+                self.device_gre_per_chunk.scale(self.stricter_device_factor) * chunks
+            }
         }
     }
 

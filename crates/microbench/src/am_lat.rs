@@ -85,7 +85,14 @@ pub fn am_lat(cfg: &AmLatConfig) -> AmLatReport {
         let t0 = w0.now();
         // Ping.
         loop {
-            match w0.post(&mut cluster, Opcode::Send, NodeId(1), 8, true, &mut analyzer) {
+            match w0.post(
+                &mut cluster,
+                Opcode::Send,
+                NodeId(1),
+                8,
+                true,
+                &mut analyzer,
+            ) {
                 Ok(_) => break,
                 Err(_) => {
                     let _ = w0.progress(&mut cluster, &mut analyzer);
@@ -96,7 +103,14 @@ pub fn am_lat(cfg: &AmLatConfig) -> AmLatReport {
         let _rx = w1.wait(&mut cluster, CqeKind::RecvComplete, &mut analyzer);
         w1.post_recv(&mut cluster, 64, &mut analyzer);
         loop {
-            match w1.post(&mut cluster, Opcode::Send, NodeId(0), 8, true, &mut analyzer) {
+            match w1.post(
+                &mut cluster,
+                Opcode::Send,
+                NodeId(0),
+                8,
+                true,
+                &mut analyzer,
+            ) {
                 Ok(_) => break,
                 Err(_) => {
                     let _ = w1.progress(&mut cluster, &mut analyzer);

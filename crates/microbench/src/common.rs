@@ -96,7 +96,11 @@ impl StackConfig {
 
     /// Build a UCT worker for `node`.
     pub fn build_worker(&self, node: u32) -> Worker {
-        Worker::new(NodeId(node), self.llp.clone(), self.seed ^ (node as u64 + 1))
+        Worker::new(
+            NodeId(node),
+            self.llp.clone(),
+            self.seed ^ (node as u64 + 1),
+        )
     }
 }
 
@@ -170,8 +174,15 @@ mod tests {
         let mut cl = cfg.build_cluster();
         let mut tap = bband_pcie::NullTap;
         let t0 = w.now();
-        w.post(&mut cl, bband_nic::Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap)
-            .unwrap();
+        w.post(
+            &mut cl,
+            bband_nic::Opcode::RdmaWrite,
+            NodeId(1),
+            8,
+            true,
+            &mut tap,
+        )
+        .unwrap();
         assert!((w.now().since(t0).as_ns_f64() - 175.42).abs() < 0.001);
     }
 }

@@ -23,8 +23,12 @@ pub mod put_bw;
 pub mod ucp_lat;
 
 pub use am_lat::{am_lat, AmLatConfig, AmLatReport};
-pub use multicore::{credit_exhaustion_onset, multicore_injection, MulticoreConfig, MulticoreReport};
 pub use common::{set_seed_override, BenchClock, StackConfig};
-pub use osu::{osu_latency, osu_message_rate, OsuLatConfig, OsuLatReport, OsuMrConfig, OsuMrReport};
+pub use multicore::{
+    credit_exhaustion_onset, multicore_injection, MulticoreConfig, MulticoreReport,
+};
+pub use osu::{
+    osu_latency, osu_message_rate, OsuLatConfig, OsuLatReport, OsuMrConfig, OsuMrReport,
+};
 pub use put_bw::{put_bw, PutBwConfig, PutBwReport};
 pub use ucp_lat::{eager_rndv_sweep, ucp_latency, UcpLatConfig};

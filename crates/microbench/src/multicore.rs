@@ -65,9 +65,11 @@ pub struct MulticoreReport {
 
 /// Run `cores` independent injectors against one node's RC + NIC.
 pub fn multicore_injection(cfg: &MulticoreConfig) -> MulticoreReport {
-    let mut nic_cfg = NicConfig::default();
-    // The hardware ring must hold every core's outstanding work.
-    nic_cfg.txq_depth = (cfg.cores * cfg.ring_depth).max(256);
+    let nic_cfg = NicConfig {
+        // The hardware ring must hold every core's outstanding work.
+        txq_depth: (cfg.cores * cfg.ring_depth).max(256),
+        ..Default::default()
+    };
     let mut cluster = Cluster::new(2, NetworkModel::paper_default(), nic_cfg, cfg.stack.seed);
     if cfg.stack.deterministic {
         cluster = cluster.deterministic();
@@ -88,15 +90,19 @@ pub fn multicore_injection(cfg: &MulticoreConfig) -> MulticoreReport {
     let mut remaining: Vec<u64> = vec![cfg.messages_per_core; cfg.cores as usize];
 
     // Min-clock scheduling: the core with the earliest local time acts.
-    loop {
-        let Some(idx) = (0..workers.len())
-            .filter(|&i| remaining[i] > 0)
-            .min_by_key(|&i| workers[i].now())
-        else {
-            break;
-        };
+    while let Some(idx) = (0..workers.len())
+        .filter(|&i| remaining[i] > 0)
+        .min_by_key(|&i| workers[i].now())
+    {
         let w = &mut workers[idx];
-        match w.post(&mut cluster, Opcode::RdmaWrite, NodeId(1), 8, true, &mut tap) {
+        match w.post(
+            &mut cluster,
+            Opcode::RdmaWrite,
+            NodeId(1),
+            8,
+            true,
+            &mut tap,
+        ) {
             Ok(_) => {
                 remaining[idx] -= 1;
                 // Poll opportunistically to keep the ring from filling.

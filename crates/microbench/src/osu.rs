@@ -65,8 +65,10 @@ pub fn osu_message_rate(cfg: &OsuMrConfig) -> OsuMrReport {
     let mut analyzer = PcieAnalyzer::tlps_only();
     let mut uct = cfg.stack.build_worker(0);
     uct.set_ring_capacity(cfg.ring_depth);
-    let mut ucp_costs = UcpCosts::default();
-    ucp_costs.signal_period = cfg.signal_period;
+    let ucp_costs = UcpCosts {
+        signal_period: cfg.signal_period,
+        ..Default::default()
+    };
     let mut sender = MpiProcess::new(UcpWorker::new(uct, ucp_costs), MpiCosts::default());
     sender.init(&mut cluster, &mut analyzer);
     // The target rank is passive: its NIC accepts and ACKs sends; arrived
@@ -183,9 +185,11 @@ mod tests {
     fn message_rate_overhead_close_to_eq2() {
         // Equation 2: Post (201.98) + Post_prog (59.82) + Misc (3.17)
         // = 264.97 ns; the paper observes 263.91 (within 1%).
-        let mut cfg = OsuMrConfig::default();
-        cfg.stack = StackConfig::validation();
-        cfg.windows = 40;
+        let cfg = OsuMrConfig {
+            stack: StackConfig::validation(),
+            windows: 40,
+            ..Default::default()
+        };
         let r = osu_message_rate(&cfg);
         let inj = r.inj_overhead.as_ns_f64();
         assert!(
@@ -199,9 +203,11 @@ mod tests {
     fn moderation_amortizes_progress() {
         // With c = 64, the transport progress per message must be far below
         // one call per message.
-        let mut cfg = OsuMrConfig::default();
-        cfg.stack = StackConfig::validation();
-        cfg.windows = 40;
+        let cfg = OsuMrConfig {
+            stack: StackConfig::validation(),
+            windows: 40,
+            ..Default::default()
+        };
         let r = osu_message_rate(&cfg);
         assert!(
             r.prog_per_msg < 0.25,
@@ -212,9 +218,11 @@ mod tests {
 
     #[test]
     fn unmoderated_rate_is_visibly_slower() {
-        let mut base = OsuMrConfig::default();
-        base.stack = StackConfig::validation();
-        base.windows = 30;
+        let base = OsuMrConfig {
+            stack: StackConfig::validation(),
+            windows: 30,
+            ..Default::default()
+        };
         let moderated = osu_message_rate(&base).inj_overhead.as_ns_f64();
         let mut unmod = base.clone();
         unmod.signal_period = 1;
@@ -228,9 +236,11 @@ mod tests {
     #[test]
     fn latency_close_to_e2e_model() {
         // §6: end-to-end model 1387.02 ns; observed 1336 ns (within 4%).
-        let mut cfg = OsuLatConfig::default();
-        cfg.stack = StackConfig::validation();
-        cfg.iterations = 300;
+        let cfg = OsuLatConfig {
+            stack: StackConfig::validation(),
+            iterations: 300,
+            ..Default::default()
+        };
         let r = osu_latency(&cfg);
         let corrected = r.observed.summary().mean - 49.69 / 2.0;
         let err = (corrected - 1387.02).abs() / 1387.02;
@@ -244,13 +254,17 @@ mod tests {
     #[test]
     fn mpi_latency_exceeds_uct_latency() {
         // The HLP adds ~250 ns on top of the LLP path.
-        let mut mpi_cfg = OsuLatConfig::default();
-        mpi_cfg.stack = StackConfig::validation();
-        mpi_cfg.iterations = 100;
+        let mpi_cfg = OsuLatConfig {
+            stack: StackConfig::validation(),
+            iterations: 100,
+            ..Default::default()
+        };
         let mpi = osu_latency(&mpi_cfg).observed.summary().mean;
-        let mut uct_cfg = crate::am_lat::AmLatConfig::default();
-        uct_cfg.stack = StackConfig::validation();
-        uct_cfg.iterations = 100;
+        let uct_cfg = crate::am_lat::AmLatConfig {
+            stack: StackConfig::validation(),
+            iterations: 100,
+            ..Default::default()
+        };
         let uct = crate::am_lat::am_lat(&uct_cfg).observed.summary().mean;
         assert!(
             mpi > uct + 150.0,

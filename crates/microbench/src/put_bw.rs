@@ -83,7 +83,14 @@ pub fn put_bw(cfg: &PutBwConfig) -> PutBwReport {
     while posted < total {
         // Post, progressing on busy (the dequeue semantic of §4.2).
         loop {
-            match worker.post(&mut cluster, Opcode::RdmaWrite, NodeId(1), 8, true, &mut analyzer) {
+            match worker.post(
+                &mut cluster,
+                Opcode::RdmaWrite,
+                NodeId(1),
+                8,
+                true,
+                &mut analyzer,
+            ) {
                 Ok(_) => break,
                 Err(_) => {
                     let _ = worker.progress(&mut cluster, &mut analyzer);
@@ -92,7 +99,7 @@ pub fn put_bw(cfg: &PutBwConfig) -> PutBwReport {
         }
         posted += 1;
         // The benchmark's own poll cadence: one completion every 16 posts.
-        if posted % cfg.poll_interval == 0 {
+        if posted.is_multiple_of(cfg.poll_interval) {
             let _ = worker.progress(&mut cluster, &mut analyzer);
         }
         // Timestamp + rate-accumulator update after every post.
@@ -172,7 +179,12 @@ mod tests {
     fn jittered_distribution_is_right_skewed_with_floor() {
         let report = put_bw(&small(false));
         let s = report.observed.summary();
-        assert!(s.median < s.mean, "right skew: median {} mean {}", s.median, s.mean);
+        assert!(
+            s.median < s.mean,
+            "right skew: median {} mean {}",
+            s.median,
+            s.mean
+        );
         assert!(s.min > 150.0, "floor too low: {}", s.min);
         assert!(s.min < s.mean * 0.85, "min should sit well below mean");
     }

@@ -57,7 +57,7 @@ pub fn ucp_latency(cfg: &UcpLatConfig) -> SimDuration {
     let mut total = SimDuration::ZERO;
     let mut measured = 0u64;
     for iter in 0..(cfg.warmup + cfg.iterations) {
-        let tag = (iter & 0xFFFF) as u64;
+        let tag = iter & 0xFFFF;
         let rx = u1.tag_recv_nb(TagMask::exact(tag));
         let t0 = u0.now();
         u0.tag_send_nb(&mut cluster, NodeId(1), cfg.payload, tag, &mut tap);
@@ -103,7 +103,6 @@ pub fn eager_rndv_sweep(stack: &StackConfig, sizes: &[u32]) -> Vec<(u32, f64, f6
                 rndv_threshold: u32::MAX,
                 iterations: 40,
                 warmup: 4,
-                ..Default::default()
             });
             let rndv = ucp_latency(&UcpLatConfig {
                 stack: stack.clone(),
@@ -111,7 +110,6 @@ pub fn eager_rndv_sweep(stack: &StackConfig, sizes: &[u32]) -> Vec<(u32, f64, f6
                 rndv_threshold: 0,
                 iterations: 40,
                 warmup: 4,
-                ..Default::default()
             });
             (payload, eager.as_ns_f64(), rndv.as_ns_f64())
         })

@@ -45,9 +45,14 @@ pub struct CollectiveReport {
 #[derive(Debug)]
 enum RankState {
     /// Ready to start round `round`.
-    StartRound { round: u32 },
+    StartRound {
+        round: u32,
+    },
     /// Waiting for this round's requests.
-    Waiting { round: u32, reqs: Vec<MpiRequest> },
+    Waiting {
+        round: u32,
+        reqs: Vec<MpiRequest>,
+    },
     Done,
 }
 
@@ -234,8 +239,7 @@ mod tests {
 
     fn setup(n: usize) -> (Cluster, Vec<MpiProcess>) {
         let mut cluster =
-            Cluster::new(n, NetworkModel::paper_default(), NicConfig::default(), 9)
-                .deterministic();
+            Cluster::new(n, NetworkModel::paper_default(), NicConfig::default(), 9).deterministic();
         let mut tap = NullTap;
         let ranks: Vec<MpiProcess> = (0..n)
             .map(|i| {

@@ -71,7 +71,10 @@ mod tests {
     fn hlp_post_totals_26_56() {
         let c = MpiCosts::default();
         let total = c.hlp_post_with(SimDuration::from_ns_f64(2.19));
-        assert!((total.as_ns_f64() - 26.56).abs() < 0.001, "HLP_post = {total}");
+        assert!(
+            (total.as_ns_f64() - 26.56).abs() < 0.001,
+            "HLP_post = {total}"
+        );
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod collectives;
 pub mod costs;
 pub mod proc;
 
-pub use costs::MpiCosts;
 pub use collectives::{barrier, collective_scaling, run_collective, Collective, CollectiveReport};
+pub use costs::MpiCosts;
 pub use proc::{MpiProcess, MpiRequest, RequestState, ANY_TAG};

@@ -328,8 +328,10 @@ mod tests {
     fn waitall_with_moderated_completions() {
         let mut cluster = Cluster::two_node_paper(33).deterministic();
         let mut tap = NullTap;
-        let mut ucp_costs = UcpCosts::default();
-        ucp_costs.signal_period = 16;
+        let ucp_costs = UcpCosts {
+            signal_period: 16,
+            ..Default::default()
+        };
         let mut r0 = rank(0, 3, ucp_costs);
         let mut r1 = rank(1, 4, UcpCosts::default().unmoderated());
         r0.init(&mut cluster, &mut tap);

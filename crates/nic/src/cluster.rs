@@ -214,7 +214,13 @@ impl Cluster {
     /// Mean one-way network latency for an 8-byte message — the model's
     /// `Network` constant for this cluster.
     pub fn network_8b_mean(&self) -> bband_sim::SimDuration {
-        let probe = Packet::message(PacketId(u64::MAX), PacketKind::Send, NodeId(0), NodeId(1), 8);
+        let probe = Packet::message(
+            PacketId(u64::MAX),
+            PacketKind::Send,
+            NodeId(0),
+            NodeId(1),
+            8,
+        );
         self.network.network_mean(&probe)
     }
 
@@ -469,7 +475,11 @@ impl Cluster {
         // segment once it is fetched and the previous one serialized.
         let wire_rate = self.network.wire.per_byte;
         let link_rate = self.nodes[node.0 as usize].link.per_byte;
-        let rate = if wire_rate >= link_rate { wire_rate } else { link_rate };
+        let rate = if wire_rate >= link_rate {
+            wire_rate
+        } else {
+            link_rate
+        };
         let spacing = rate * MTU as u64;
         let mut remaining = desc.payload;
         for i in 0..segments {
@@ -515,9 +525,10 @@ impl Cluster {
             pkt.payload
         );
         let tlp = Tlp::payload_deliver(n.nic.next_tlp_id(node), pkt.payload);
-        n.nic
-            .recv_in_flight
-            .insert(tlp.id, (wr_id, QpId(pkt.dst_qp), pkt.payload, pkt.tag, pkt.src));
+        n.nic.recv_in_flight.insert(
+            tlp.id,
+            (wr_id, QpId(pkt.dst_qp), pkt.payload, pkt.tag, pkt.src),
+        );
         self.nic_send_upstream(now, node, tlp, tap);
     }
 
@@ -587,8 +598,7 @@ impl Cluster {
                 let n = &mut self.nodes[node.0 as usize];
                 match tlp.purpose {
                     TlpPurpose::CqeWrite => {
-                        if let Some((wr_id, qp, completes)) = n.nic.cqe_in_flight.remove(&tlp.id)
-                        {
+                        if let Some((wr_id, qp, completes)) = n.nic.cqe_in_flight.remove(&tlp.id) {
                             n.host_cq.entry(qp).or_default().push_back(Cqe {
                                 wr_id,
                                 qp,
@@ -660,10 +670,8 @@ impl Cluster {
                         // pipelines with the transmit).
                         let mrd = {
                             let n = &mut self.nodes[node.0 as usize];
-                            let mrd = Tlp::payload_fetch(
-                                n.nic.next_tlp_id(node),
-                                desc.payload.min(MTU),
-                            );
+                            let mrd =
+                                Tlp::payload_fetch(n.nic.next_tlp_id(node), desc.payload.min(MTU));
                             n.nic.fetching.insert(mrd.id, FetchStage::Payload(desc));
                             mrd
                         };
@@ -789,7 +797,12 @@ mod tests {
     fn rdma_write_completes_with_cqe_on_initiator() {
         let mut c = paper_cluster();
         let mut tap = NullTap;
-        c.post(SimTime::from_ns(100), NodeId(0), desc(1, Opcode::RdmaWrite), &mut tap);
+        c.post(
+            SimTime::from_ns(100),
+            NodeId(0),
+            desc(1, Opcode::RdmaWrite),
+            &mut tap,
+        );
         let end = c.run_until_idle(&mut tap);
         let cqe = c.pop_cqe(NodeId(0), QpId(0)).expect("send CQE");
         assert_eq!(cqe.wr_id, WrId(1));
@@ -820,10 +833,7 @@ mod tests {
         // (PCIe for a 64-byte MWr) + RC-to-MEM(64B).
         let expected_min = (pcie + network + rc64).as_ns_f64();
         let got = cqe.visible_at.since(t0).as_ns_f64();
-        assert!(
-            got > expected_min,
-            "CQE too early: {got} <= {expected_min}"
-        );
+        assert!(got > expected_min, "CQE too early: {got} <= {expected_min}");
         // And it must be within ~gen_completion + PCIe of the post.
         let gen_completion = (pcie + network).as_ns_f64() * 2.0 + rc64.as_ns_f64();
         assert!(
@@ -837,7 +847,12 @@ mod tests {
         let mut c = paper_cluster();
         let mut tap = NullTap;
         c.post_recv(SimTime::ZERO, NodeId(1), WrId(900), 64, &mut tap);
-        c.post(SimTime::from_ns(10), NodeId(0), desc(2, Opcode::Send), &mut tap);
+        c.post(
+            SimTime::from_ns(10),
+            NodeId(0),
+            desc(2, Opcode::Send),
+            &mut tap,
+        );
         c.run_until_idle(&mut tap);
         let rx = c.pop_cqe(NodeId(1), QpId(0)).expect("recv CQE");
         assert_eq!(rx.kind, CqeKind::RecvComplete);
@@ -852,14 +867,24 @@ mod tests {
     fn unexpected_message_waits_for_recv() {
         let mut c = paper_cluster();
         let mut tap = NullTap;
-        c.post(SimTime::from_ns(10), NodeId(0), desc(3, Opcode::Send), &mut tap);
+        c.post(
+            SimTime::from_ns(10),
+            NodeId(0),
+            desc(3, Opcode::Send),
+            &mut tap,
+        );
         c.run_until_idle(&mut tap);
-        assert!(c.pop_cqe(NodeId(1), QpId(0)).is_none(), "no recv posted yet");
+        assert!(
+            c.pop_cqe(NodeId(1), QpId(0)).is_none(),
+            "no recv posted yet"
+        );
         // Post the receive late: delivery happens now.
         let late = SimTime::from_ns(100_000);
         c.post_recv(late, NodeId(1), WrId(7), 64, &mut tap);
         c.run_until_idle(&mut tap);
-        let rx = c.pop_cqe(NodeId(1), QpId(0)).expect("recv CQE after late post");
+        let rx = c
+            .pop_cqe(NodeId(1), QpId(0))
+            .expect("recv CQE after late post");
         assert_eq!(rx.wr_id, WrId(7));
         assert!(rx.visible_at > late);
     }
@@ -873,7 +898,7 @@ mod tests {
             let mut d = desc(i, Opcode::RdmaWrite);
             d.signaled = false;
             c.post(t, NodeId(0), d, &mut tap);
-            t = t + bband_sim::SimDuration::from_ns(300);
+            t += bband_sim::SimDuration::from_ns(300);
         }
         let d = desc(4, Opcode::RdmaWrite); // signaled
         c.post(t, NodeId(0), d, &mut tap);
@@ -892,7 +917,9 @@ mod tests {
         d.inline = false;
         c.post(SimTime::from_ns(5), NodeId(0), d, &mut tap);
         c.run_until_idle(&mut tap);
-        let cqe = c.pop_cqe(NodeId(0), QpId(0)).expect("doorbell path completes");
+        let cqe = c
+            .pop_cqe(NodeId(0), QpId(0))
+            .expect("doorbell path completes");
         assert_eq!(cqe.wr_id, WrId(11));
     }
 
@@ -930,7 +957,12 @@ mod tests {
     fn txq_occupancy_rises_and_falls() {
         let mut c = paper_cluster();
         let mut tap = NullTap;
-        c.post(SimTime::from_ns(1), NodeId(0), desc(0, Opcode::RdmaWrite), &mut tap);
+        c.post(
+            SimTime::from_ns(1),
+            NodeId(0),
+            desc(0, Opcode::RdmaWrite),
+            &mut tap,
+        );
         assert_eq!(c.nic_occupancy(NodeId(0)), 1);
         c.run_until_idle(&mut tap);
         assert_eq!(c.nic_occupancy(NodeId(0)), 0);
@@ -939,12 +971,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "TxQ overflow")]
     fn txq_overflow_panics() {
-        let mut cfg = NicConfig::default();
-        cfg.txq_depth = 2;
+        let cfg = NicConfig {
+            txq_depth: 2,
+            ..Default::default()
+        };
         let mut tap = NullTap;
         let mut c = Cluster::new(2, NetworkModel::paper_default(), cfg, 1).deterministic();
         for i in 0..3u64 {
-            c.post(SimTime::from_ns(i), NodeId(0), desc(i, Opcode::RdmaWrite), &mut tap);
+            c.post(
+                SimTime::from_ns(i),
+                NodeId(0),
+                desc(i, Opcode::RdmaWrite),
+                &mut tap,
+            );
         }
     }
 
@@ -960,7 +999,7 @@ mod tests {
             // Poll to keep occupancy bounded, mimicking put_bw.
             while c.pop_cqe(NodeId(0), QpId(0)).is_some() {}
             c.post(t, NodeId(0), desc(i, Opcode::RdmaWrite), &mut tap);
-            t = t + bband_sim::SimDuration::from_ns_f64(282.33);
+            t += bband_sim::SimDuration::from_ns_f64(282.33);
         }
         c.run_until_idle(&mut tap);
         assert!(c.rc_never_stalled());
@@ -975,7 +1014,7 @@ mod tests {
             let mut visible = Vec::new();
             for i in 0..100u64 {
                 c.post(t, NodeId(0), desc(i, Opcode::RdmaWrite), &mut tap);
-                t = t + bband_sim::SimDuration::from_ns(400);
+                t += bband_sim::SimDuration::from_ns(400);
                 c.advance_to(t, &mut tap);
                 while let Some(cqe) = c.pop_cqe(NodeId(0), QpId(0)) {
                     visible.push((cqe.wr_id, cqe.visible_at));
@@ -1046,16 +1085,16 @@ mod tests {
 
     #[test]
     fn fat_tree_cluster_delivers_across_pods() {
-        let mut c = Cluster::new(
-            8,
-            NetworkModel::fat_tree(2),
-            NicConfig::default(),
-            13,
-        )
-        .deterministic();
+        let mut c =
+            Cluster::new(8, NetworkModel::fat_tree(2), NicConfig::default(), 13).deterministic();
         let mut tap = NullTap;
         // Intra-pod (0 -> 1) and inter-pod (0 -> 7) writes.
-        c.post(SimTime::from_ns(1), NodeId(0), desc(0, Opcode::RdmaWrite), &mut tap);
+        c.post(
+            SimTime::from_ns(1),
+            NodeId(0),
+            desc(0, Opcode::RdmaWrite),
+            &mut tap,
+        );
         let mut d2 = desc(1, Opcode::RdmaWrite);
         d2.dst = NodeId(7);
         c.post(SimTime::from_ns(1), NodeId(0), d2, &mut tap);
@@ -1081,13 +1120,18 @@ mod tests {
         let mut t = SimTime::from_ns(0);
         for i in 0..50u64 {
             c.post(t, NodeId(0), desc(i, Opcode::RdmaWrite), &mut tap);
-            t = t + bband_sim::SimDuration::from_ns(300);
+            t += bband_sim::SimDuration::from_ns(300);
         }
         c.run_until_idle(&mut tap);
         let mut prev = None;
         while let Some(cqe) = c.pop_cqe(NodeId(0), QpId(0)) {
             if let Some(p) = prev {
-                assert!(cqe.wr_id > p, "CQE order broken: {:?} after {:?}", cqe.wr_id, p);
+                assert!(
+                    cqe.wr_id > p,
+                    "CQE order broken: {:?} after {:?}",
+                    cqe.wr_id,
+                    p
+                );
             }
             prev = Some(cqe.wr_id);
         }

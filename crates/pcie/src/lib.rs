@@ -29,4 +29,6 @@ pub use credit::{CreditError, FlowControl};
 pub use link::{LinkDirection, LinkModel, LinkTap, NullTap};
 pub use rc::{RcAction, RootComplex};
 pub use replay::{DllReceiver, LossyLink, ReplayBuffer, RxVerdict, SeqNum};
-pub use tlp::{Dllp, Tlp, TlpId, TlpIdGen, TlpKind, TlpPurpose, DLLP_WIRE_BYTES, TLP_OVERHEAD_BYTES};
+pub use tlp::{
+    Dllp, Tlp, TlpId, TlpIdGen, TlpKind, TlpPurpose, DLLP_WIRE_BYTES, TLP_OVERHEAD_BYTES,
+};

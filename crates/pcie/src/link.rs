@@ -61,8 +61,7 @@ impl Default for LinkModel {
     fn default() -> Self {
         let per_byte = SimDuration::from_ps(64); // 0.064 ns/B ≈ Gen3 x16
         let wire_bytes_64 = 64 + crate::tlp::TLP_OVERHEAD_BYTES as u64;
-        let base =
-            SimDuration::from_ns_f64(137.49) - SimDuration::from_ps(64 * wire_bytes_64);
+        let base = SimDuration::from_ns_f64(137.49) - SimDuration::from_ps(64 * wire_bytes_64);
         LinkModel {
             base,
             per_byte,
@@ -168,6 +167,10 @@ mod tests {
         let mut tap = NullTap;
         let tlp = Tlp::pio_chunk(TlpId(0));
         tap.on_tlp(SimTime::ZERO, LinkDirection::Downstream, &tlp);
-        tap.on_dllp(SimTime::ZERO, LinkDirection::Upstream, &Dllp::Ack { up_to: TlpId(0) });
+        tap.on_dllp(
+            SimTime::ZERO,
+            LinkDirection::Upstream,
+            &Dllp::Ack { up_to: TlpId(0) },
+        );
     }
 }

@@ -210,7 +210,10 @@ mod tests {
         let released = rc.on_update_fc(t2, 1, 4);
         assert_eq!(
             released,
-            vec![RcAction::SendTlp { depart: t2, tlp: stalled }]
+            vec![RcAction::SendTlp {
+                depart: t2,
+                tlp: stalled
+            }]
         );
     }
 
@@ -246,7 +249,10 @@ mod tests {
         let actions = rc.on_upstream_tlp(t, cqe);
         assert!(matches!(
             actions[0],
-            RcAction::SendDllp { dllp: Dllp::Ack { up_to: TlpId(77) }, .. }
+            RcAction::SendDllp {
+                dllp: Dllp::Ack { up_to: TlpId(77) },
+                ..
+            }
         ));
         let done = actions
             .iter()
@@ -288,7 +294,15 @@ mod tests {
             let acks = rc
                 .on_upstream_tlp(t, tlp)
                 .into_iter()
-                .filter(|a| matches!(a, RcAction::SendDllp { dllp: Dllp::Ack { .. }, .. }))
+                .filter(|a| {
+                    matches!(
+                        a,
+                        RcAction::SendDllp {
+                            dllp: Dllp::Ack { .. },
+                            ..
+                        }
+                    )
+                })
                 .count();
             assert_eq!(acks, 1);
         }

@@ -29,6 +29,11 @@ impl SeqNum {
         SeqNum((self.0 + 1) % SEQ_MOD)
     }
 
+    /// Predecessor with wrap (sequence 0's predecessor is `SEQ_MOD - 1`).
+    pub fn prev(self) -> SeqNum {
+        SeqNum((self.0 + SEQ_MOD - 1) % SEQ_MOD)
+    }
+
     /// Distance from `self` to `other` going forward (mod 4096).
     pub fn distance_to(self, other: SeqNum) -> u16 {
         (other.0 + SEQ_MOD - self.0) % SEQ_MOD
@@ -53,10 +58,17 @@ pub struct ReplayBuffer {
 impl ReplayBuffer {
     /// Buffer sized like a real device (a few dozen TLPs).
     pub fn new(capacity: usize) -> Self {
+        Self::with_initial_seq(capacity, SeqNum(0))
+    }
+
+    /// Buffer whose first TLP is stamped `initial` — wraparound tests
+    /// start just below [`SEQ_MOD`].
+    pub fn with_initial_seq(capacity: usize, initial: SeqNum) -> Self {
         assert!(capacity > 0 && capacity < SEQ_MOD as usize / 2);
+        assert!(initial.0 < SEQ_MOD, "initial sequence out of range");
         ReplayBuffer {
             unacked: VecDeque::new(),
-            next_seq: SeqNum(0),
+            next_seq: initial,
             capacity,
             retransmissions: 0,
         }
@@ -87,9 +99,9 @@ impl ReplayBuffer {
 
     /// NACK received: replay everything from `from` (inclusive), in order.
     pub fn nack(&mut self, from: SeqNum) -> Vec<(SeqNum, Tlp)> {
-        // Everything before `from` is implicitly acknowledged.
-        let before = from.0.wrapping_sub(1) % SEQ_MOD;
-        self.ack(SeqNum(before));
+        // Everything before `from` is implicitly acknowledged (wraparound
+        // safe: sequence 0's predecessor is SEQ_MOD - 1).
+        self.ack(from.prev());
         let replayed: Vec<(SeqNum, Tlp)> = self.unacked.iter().copied().collect();
         self.retransmissions += replayed.len() as u64;
         replayed
@@ -128,6 +140,16 @@ impl DllReceiver {
         Self::default()
     }
 
+    /// Receiver expecting `seq` first — pairs with
+    /// [`ReplayBuffer::with_initial_seq`].
+    pub fn expecting(seq: SeqNum) -> Self {
+        assert!(seq.0 < SEQ_MOD, "initial sequence out of range");
+        DllReceiver {
+            expected: seq.0,
+            ..Self::default()
+        }
+    }
+
     /// Process an arriving TLP with its sequence number and an
     /// LCRC-corruption flag (set by the error-injecting link).
     pub fn receive(&mut self, seq: SeqNum, corrupted: bool) -> RxVerdict {
@@ -146,7 +168,7 @@ impl DllReceiver {
             // Behind the window: duplicate of an already-delivered TLP.
             self.duplicates_discarded += 1;
             RxVerdict::Duplicate {
-                ack_up_to: SeqNum(expected.0.wrapping_sub(1) % SEQ_MOD),
+                ack_up_to: expected.prev(),
             }
         }
     }
@@ -228,17 +250,23 @@ mod tests {
         let mut rx = DllReceiver::new();
         assert_eq!(
             rx.receive(SeqNum(0), false),
-            RxVerdict::Accept { ack_up_to: SeqNum(0) }
+            RxVerdict::Accept {
+                ack_up_to: SeqNum(0)
+            }
         );
         assert_eq!(
             rx.receive(SeqNum(1), true),
-            RxVerdict::Nack { expected: SeqNum(1) }
+            RxVerdict::Nack {
+                expected: SeqNum(1)
+            }
         );
         assert_eq!(rx.corrupted_seen, 1);
         // Retransmission of 1 is then accepted.
         assert_eq!(
             rx.receive(SeqNum(1), false),
-            RxVerdict::Accept { ack_up_to: SeqNum(1) }
+            RxVerdict::Accept {
+                ack_up_to: SeqNum(1)
+            }
         );
     }
 
@@ -249,7 +277,9 @@ mod tests {
         // Gap: 2 arrives before 1.
         assert_eq!(
             rx.receive(SeqNum(2), false),
-            RxVerdict::Nack { expected: SeqNum(1) }
+            RxVerdict::Nack {
+                expected: SeqNum(1)
+            }
         );
         rx.receive(SeqNum(1), false);
         // Duplicate of 0.

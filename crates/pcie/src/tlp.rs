@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 
 /// Unique id for a TLP within a simulation run (used to match MRd↔CplD and
 /// TLP↔ACK pairs, as the paper matches trace lines).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TlpId(pub u64);
 
 /// Transaction-layer packet kind.
@@ -107,6 +105,7 @@ impl TlpIdGen {
         TlpIdGen(0)
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> TlpId {
         let id = TlpId(self.0);
         self.0 += 1;
@@ -258,6 +257,10 @@ mod tests {
         let mut g = TlpIdGen::new();
         assert_eq!(Tlp::doorbell(g.next()).purpose, TlpPurpose::Doorbell);
         assert_eq!(Tlp::cqe_write(g.next()).purpose, TlpPurpose::CqeWrite);
-        assert_eq!(Tlp::cqe_write(g.next()).payload, 64, "InfiniBand CQE is 64 bytes");
+        assert_eq!(
+            Tlp::cqe_write(g.next()).payload,
+            64,
+            "InfiniBand CQE is 64 bytes"
+        );
     }
 }

@@ -1,0 +1,136 @@
+//! Per-layer recovery counters.
+//!
+//! The calibrated fast path never loses a packet or corrupts a TLP, so on
+//! it every counter here is zero — that *is* the zero-fault invariant the
+//! fault-injection subsystem proves against the analytical latency model.
+//! Under an active fault plan, each recovery mechanism increments its own
+//! counter, and the *recovery time* it adds is charged to the virtual
+//! clock, so reports can show both "how often" and "how much" per layer:
+//!
+//! * **transport (IB RC)** — go-back-N rounds from retransmission
+//!   timeouts and explicit NAKs, and the packets they resent;
+//! * **data link (PCIe DLL)** — LCRC-corrupted TLPs NACKed and replayed
+//!   from the replay buffer, and sends stalled by a full replay buffer;
+//! * **flow control (PCIe credits)** — stall episodes where an MMIO write
+//!   waited for an UpdateFC, plus injected NIC stall windows.
+//!
+//! The struct merges like [`crate::Welford`]: per-task partials from a
+//! worker-pool fan-out sum field-wise, so parallel sweeps report exactly
+//! what a serial run would.
+
+use bband_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Counter block for one simulated flow (one QP + its PCIe links).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryCounters {
+    /// Transport packets retransmitted (go-back-N resends, both timer- and
+    /// NAK-driven).
+    pub rc_retransmissions: u64,
+    /// Transport NAKs that reached the sender.
+    pub rc_naks: u64,
+    /// Retransmission-timer expiries (each starts one go-back-N round and
+    /// doubles the backed-off timeout).
+    pub rc_timeouts: u64,
+    /// TLPs replayed after a data-link NACK (LCRC corruption).
+    pub dll_replays: u64,
+    /// Data-link NACKs observed (one per corrupted TLP arrival).
+    pub dll_nacks: u64,
+    /// Sends that found the replay buffer full and had to wait for ACKs.
+    pub replay_stalls: u64,
+    /// Credit stall episodes (consecutive failed issues count once).
+    pub credit_stalls: u64,
+    /// Injected NIC stall windows that actually delayed traffic.
+    pub nic_stalls: u64,
+    /// Total virtual time recovery added beyond the fault-free path.
+    pub recovery_time: SimDuration,
+}
+
+impl RecoveryCounters {
+    /// All-zero block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True iff no recovery mechanism ever engaged — what the calibrated
+    /// zero-fault profile must observe.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Field-wise sum, for reducing per-task partials from a pool fan-out.
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.rc_retransmissions += other.rc_retransmissions;
+        self.rc_naks += other.rc_naks;
+        self.rc_timeouts += other.rc_timeouts;
+        self.dll_replays += other.dll_replays;
+        self.dll_nacks += other.dll_nacks;
+        self.replay_stalls += other.replay_stalls;
+        self.credit_stalls += other.credit_stalls;
+        self.nic_stalls += other.nic_stalls;
+        self.recovery_time += other.recovery_time;
+    }
+
+    /// Compact one-line rendering for report tables.
+    pub fn render_compact(&self) -> String {
+        format!(
+            "retx {} nak {} to {} replay {} crstall {} nicstall {}",
+            self.rc_retransmissions,
+            self.rc_naks,
+            self.rc_timeouts,
+            self.dll_replays,
+            self.credit_stalls,
+            self.nic_stalls,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_counters_are_clean() {
+        assert!(RecoveryCounters::new().is_clean());
+    }
+
+    #[test]
+    fn any_event_breaks_cleanliness() {
+        let mut c = RecoveryCounters::new();
+        c.rc_naks = 1;
+        assert!(!c.is_clean());
+    }
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let mut a = RecoveryCounters {
+            rc_retransmissions: 2,
+            dll_replays: 1,
+            recovery_time: SimDuration::from_ns(100),
+            ..Default::default()
+        };
+        let b = RecoveryCounters {
+            rc_retransmissions: 3,
+            credit_stalls: 4,
+            recovery_time: SimDuration::from_ns(50),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rc_retransmissions, 5);
+        assert_eq!(a.dll_replays, 1);
+        assert_eq!(a.credit_stalls, 4);
+        assert_eq!(a.recovery_time, SimDuration::from_ns(150));
+    }
+
+    #[test]
+    fn serializes_roundtrip() {
+        let c = RecoveryCounters {
+            rc_naks: 7,
+            nic_stalls: 2,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RecoveryCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

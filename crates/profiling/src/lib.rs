@@ -15,8 +15,10 @@
 //! the calibrated overhead mean — so a test can check that the deduction
 //! recovers the true region cost.
 
+pub mod counters;
 pub mod profiler;
 pub mod stats;
 
+pub use counters::RecoveryCounters;
 pub use profiler::{Profiler, RegionHandle};
 pub use stats::{SampleSet, Summary, Welford};

@@ -90,10 +90,7 @@ impl Profiler {
         let oh = self.sample_overhead();
         cpu.advance(oh);
         let raw = cpu.now().since(handle.start);
-        self.regions
-            .entry(name.to_string())
-            .or_default()
-            .push(raw);
+        self.regions.entry(name.to_string()).or_default().push(raw);
     }
 
     /// Record an externally measured sample (PCIe-analyzer-side data).
@@ -203,8 +200,16 @@ mod tests {
         let sum = p.region("zero").unwrap().summary();
         // Each sample is one overhead draw (the end-side one) — mean 49.69,
         // sigma 1.48 as the paper calibrates over 1000 samples.
-        assert!((sum.mean - UCS_OVERHEAD_MEAN_NS).abs() < 0.5, "mean {}", sum.mean);
-        assert!((sum.std_dev - UCS_OVERHEAD_SIGMA_NS).abs() < 0.5, "σ {}", sum.std_dev);
+        assert!(
+            (sum.mean - UCS_OVERHEAD_MEAN_NS).abs() < 0.5,
+            "mean {}",
+            sum.mean
+        );
+        assert!(
+            (sum.std_dev - UCS_OVERHEAD_SIGMA_NS).abs() < 0.5,
+            "σ {}",
+            sum.std_dev
+        );
     }
 
     #[test]

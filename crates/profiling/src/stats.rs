@@ -197,7 +197,10 @@ impl SampleSet {
 
     /// Raw samples. Panics on a streaming set (they were not retained).
     pub fn samples(&self) -> &[SimDuration] {
-        assert!(self.buffered, "raw samples unavailable on a streaming SampleSet");
+        assert!(
+            self.buffered,
+            "raw samples unavailable on a streaming SampleSet"
+        );
         &self.samples
     }
 
@@ -247,7 +250,10 @@ impl SampleSet {
     pub fn percentile_ns(&self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         assert!(!self.is_empty(), "percentile of empty set");
-        assert!(self.buffered, "percentiles unavailable on a streaming SampleSet");
+        assert!(
+            self.buffered,
+            "percentiles unavailable on a streaming SampleSet"
+        );
         let mut sorted: Vec<f64> = self.samples.iter().map(|d| d.as_ns_f64()).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
@@ -261,7 +267,10 @@ impl SampleSet {
     /// streaming set.
     pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Vec<(f64, f64)> {
         assert!(bins > 0 && hi > lo, "invalid histogram spec");
-        assert!(self.buffered, "histogram unavailable on a streaming SampleSet");
+        assert!(
+            self.buffered,
+            "histogram unavailable on a streaming SampleSet"
+        );
         let mut counts = vec![0usize; bins];
         let width = (hi - lo) / bins as f64;
         for d in &self.samples {
@@ -401,7 +410,9 @@ mod tests {
 
     #[test]
     fn streaming_moments_match_buffered() {
-        let xs: Vec<f64> = (0..5_000).map(|i| (i as f64 * 0.37).sin().abs() * 300.0 + 50.0).collect();
+        let xs: Vec<f64> = (0..5_000)
+            .map(|i| (i as f64 * 0.37).sin().abs() * 300.0 + 50.0)
+            .collect();
         let b = set_of(&xs).summary();
         let s = streaming_of(&xs).summary();
         assert_eq!(s.count, b.count);

@@ -73,11 +73,7 @@ mod tests {
     fn bar_is_fixed_width() {
         let s = render_bar(&sample());
         let bar_line = s.lines().nth(1).unwrap();
-        let inner: String = bar_line
-            .trim()
-            .trim_matches('|')
-            .chars()
-            .collect();
+        let inner: String = bar_line.trim().trim_matches('|').chars().collect();
         assert_eq!(inner.chars().count(), 60);
     }
 

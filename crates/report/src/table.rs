@@ -6,11 +6,26 @@ use bband_llp::Phase;
 /// One row of Table 1: component name and its time in nanoseconds.
 pub fn table1_rows(c: &Calibration) -> Vec<(&'static str, f64)> {
     vec![
-        ("Message descriptor setup", c.llp.phase_mean(Phase::MdSetup).as_ns_f64()),
-        ("Barrier for message descriptor", c.llp.phase_mean(Phase::BarrierMd).as_ns_f64()),
-        ("Barrier for DoorBell counter", c.llp.phase_mean(Phase::BarrierDbc).as_ns_f64()),
-        ("PIO copy (64 bytes)", c.llp.phase_mean(Phase::PioCopy).as_ns_f64()),
-        ("Miscellaneous in LLP_post", c.llp.phase_mean(Phase::Misc).as_ns_f64()),
+        (
+            "Message descriptor setup",
+            c.llp.phase_mean(Phase::MdSetup).as_ns_f64(),
+        ),
+        (
+            "Barrier for message descriptor",
+            c.llp.phase_mean(Phase::BarrierMd).as_ns_f64(),
+        ),
+        (
+            "Barrier for DoorBell counter",
+            c.llp.phase_mean(Phase::BarrierDbc).as_ns_f64(),
+        ),
+        (
+            "PIO copy (64 bytes)",
+            c.llp.phase_mean(Phase::PioCopy).as_ns_f64(),
+        ),
+        (
+            "Miscellaneous in LLP_post",
+            c.llp.phase_mean(Phase::Misc).as_ns_f64(),
+        ),
         ("LLP_post (total of above)", c.llp_post().as_ns_f64()),
         ("LLP_prog", c.llp_prog().as_ns_f64()),
         ("Busy post", c.llp.busy_post.as_ns_f64()),
@@ -75,8 +90,8 @@ mod tests {
     fn every_paper_row_matches() {
         // All 21 rows against the paper's published values.
         let expect = [
-            27.78, 17.33, 21.07, 94.25, 14.99, 175.42, 61.63, 8.99, 49.69, 58.68, 137.49,
-            274.81, 108.0, 382.81, 240.96, 24.37, 2.19, 47.99, 293.29, 139.78, 150.51,
+            27.78, 17.33, 21.07, 94.25, 14.99, 175.42, 61.63, 8.99, 49.69, 58.68, 137.49, 274.81,
+            108.0, 382.81, 240.96, 24.37, 2.19, 47.99, 293.29, 139.78, 150.51,
         ];
         let rows = table1_rows(&Calibration::default());
         assert_eq!(rows.len(), expect.len());

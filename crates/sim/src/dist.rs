@@ -166,7 +166,7 @@ fn norm_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -245,7 +245,11 @@ impl NoiseSpike {
             return SimDuration::ZERO;
         }
         let span = self.max.as_ps().saturating_sub(self.min.as_ps());
-        let extra = if span == 0 { 0 } else { rng.next_below(span + 1) };
+        let extra = if span == 0 {
+            0
+        } else {
+            rng.next_below(span + 1)
+        };
         SimDuration::from_ps(self.min.as_ps() + extra)
     }
 }
@@ -388,8 +392,7 @@ mod tests {
                     })
                     .collect();
                 let mean = samples.iter().sum::<f64>() / n as f64;
-                let var =
-                    samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+                let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
                 (mean, var.sqrt())
             };
             let (table_mean, table_sigma) = moments(false);
@@ -453,8 +456,8 @@ mod tests {
             .map(|_| j.sample(base, &mut rng).as_ns_f64())
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         let rel_sigma = var.sqrt() / mean;
         assert!(rel_sigma < 0.06, "hardware jitter too loose: {rel_sigma}");
     }

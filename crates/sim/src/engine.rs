@@ -290,10 +290,16 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(SimTime::from_ns(10), 1);
         q.push(SimTime::from_ns(20), 2);
-        assert_eq!(q.pop_due(SimTime::from_ns(15)), Some((SimTime::from_ns(10), 1)));
+        assert_eq!(
+            q.pop_due(SimTime::from_ns(15)),
+            Some((SimTime::from_ns(10), 1))
+        );
         assert_eq!(q.pop_due(SimTime::from_ns(15)), None);
         assert_eq!(q.len(), 1);
-        assert_eq!(q.pop_due(SimTime::from_ns(20)), Some((SimTime::from_ns(20), 2)));
+        assert_eq!(
+            q.pop_due(SimTime::from_ns(20)),
+            Some((SimTime::from_ns(20), 2))
+        );
         assert!(q.is_empty());
     }
 

@@ -80,7 +80,11 @@ impl WorkerPool {
     {
         let n = items.len();
         if self.threads == 1 || n <= 1 {
-            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
         }
 
         let workers = self.threads.min(n);
@@ -194,7 +198,10 @@ mod tests {
         let run = |threads: usize| {
             WorkerPool::with_threads(threads).map((0..48u64).collect(), |i, x| {
                 let mut rng = crate::Pcg64::new(0xB0B).fork(i as u64);
-                (0..100).map(|_| rng.next_f64() * x as f64).sum::<f64>().to_bits()
+                (0..100)
+                    .map(|_| rng.next_f64() * x as f64)
+                    .sum::<f64>()
+                    .to_bits()
             })
         };
         let serial = run(1);

@@ -6,12 +6,12 @@
 //! cargo run --release --example breakdown_report
 //! ```
 
+use breaking_band::models::latency::Category;
 use breaking_band::models::validate::{validate_all, ValidationScale};
 use breaking_band::models::{
     hlp_breakdown, Calibration, EndToEndLatencyModel, InjectionModel, LlpLatencyModel,
     OverallInjectionModel,
 };
-use breaking_band::models::latency::Category;
 use breaking_band::report::{render_bar, render_table1};
 
 fn main() {

@@ -40,11 +40,13 @@ fn collective_scaling() {
     use breaking_band::nic::{Cluster, NicConfig};
 
     println!("\nBarrier scaling (dissemination, deterministic):");
-    println!("  {:>6}  {:>14}  {:>14}", "ranks", "single switch", "fat tree (pod=2)");
+    println!(
+        "  {:>6}  {:>14}  {:>14}",
+        "ranks", "single switch", "fat tree (pod=2)"
+    );
     for n in [2usize, 4, 8, 16] {
         let run = |network: NetworkModel| {
-            let mut cluster =
-                Cluster::new(n, network, NicConfig::default(), 17).deterministic();
+            let mut cluster = Cluster::new(n, network, NicConfig::default(), 17).deterministic();
             let mut tap = NullTap;
             let mut ranks: Vec<MpiProcess> = (0..n)
                 .map(|i| {
@@ -107,8 +109,15 @@ fn payload_sweep() {
         let t0 = SimTime::ZERO;
         let mut last_visible = t0;
         for _ in 0..iters {
-            w0.post(&mut cluster, Opcode::Send, NodeId(1), payload, true, &mut tap)
-                .unwrap();
+            w0.post(
+                &mut cluster,
+                Opcode::Send,
+                NodeId(1),
+                payload,
+                true,
+                &mut tap,
+            )
+            .unwrap();
             let rx = w1.wait(&mut cluster, CqeKind::RecvComplete, &mut tap);
             w1.post_recv(&mut cluster, 4096, &mut tap);
             w0.wait(&mut cluster, CqeKind::SendComplete, &mut tap);
@@ -125,12 +134,19 @@ fn payload_sweep() {
         let mut w1 = cfg.build_worker(1);
         w1.post_recv(&mut cluster, 4096, &mut tap);
         let t_start = w0.now();
-        w0.post(&mut cluster, Opcode::Send, NodeId(1), payload, true, &mut tap)
-            .unwrap();
+        w0.post(
+            &mut cluster,
+            Opcode::Send,
+            NodeId(1),
+            payload,
+            true,
+            &mut tap,
+        )
+        .unwrap();
         let rx = w1.wait(&mut cluster, CqeKind::RecvComplete, &mut tap);
         let oneway = rx.visible_at.since(t_start);
-        let network = cluster.network_8b_mean().as_ns_f64()
-            + (payload.saturating_sub(8)) as f64 * 0.08;
+        let network =
+            cluster.network_8b_mean().as_ns_f64() + (payload.saturating_sub(8)) as f64 * 0.08;
         println!(
             "  {:>8}  {:>12}  {:>9.1}%",
             payload,
@@ -189,6 +205,10 @@ fn path_comparison() {
         cluster.post(t0, NodeId(0), desc, &mut tap);
         cluster.run_until_idle(&mut tap);
         let cqe = cluster.pop_cqe(NodeId(0), QpId(0)).expect("completion");
-        println!("  {:<42} completion after {}", label, cqe.visible_at.since(t0));
+        println!(
+            "  {:<42} completion after {}",
+            label,
+            cqe.visible_at.since(t0)
+        );
     }
 }

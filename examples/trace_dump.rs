@@ -33,9 +33,7 @@ fn main() {
         "\nObserved injection overhead: mean {:.2}  median {:.2}  min {:.2}  max {:.2}  sigma {:.2}",
         s.mean, s.median, s.min, s.max, s.std_dev
     );
-    println!(
-        "(the paper's Figure 7: mean 282.33, median 266.30, min 201.30, max 34951.70)"
-    );
+    println!("(the paper's Figure 7: mean 282.33, median 266.30, min 201.30, max 34951.70)");
 
     // --- §4.3: PCIe, Network and RC-to-MEM from the am_lat trace -------
     let lat = am_lat(&AmLatConfig {

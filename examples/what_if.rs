@@ -75,8 +75,14 @@ fn main() {
     // (PIO -84%) + GenZ-class switch (-72%) applied together.
     println!("\nComposite scenario (integrated NIC + fast PIO + GenZ switch):");
     let c = Calibration::default();
-    let baseline = EndToEndLatencyModel::from_calibration(&c).total().as_ns_f64();
-    let saved = Component::IntegratedNic.latency_time(&c).unwrap().as_ns_f64() * 0.80
+    let baseline = EndToEndLatencyModel::from_calibration(&c)
+        .total()
+        .as_ns_f64();
+    let saved = Component::IntegratedNic
+        .latency_time(&c)
+        .unwrap()
+        .as_ns_f64()
+        * 0.80
         + Component::Pio.latency_time(&c).unwrap().as_ns_f64() * 0.84
         + Component::Switch.latency_time(&c).unwrap().as_ns_f64() * 0.72;
     println!(

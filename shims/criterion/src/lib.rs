@@ -17,14 +17,9 @@ const MEASURE: Duration = Duration::from_millis(1500);
 const SAMPLES: usize = 20;
 
 /// Benchmark harness handle passed to each `criterion_group!` target.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
@@ -56,7 +51,8 @@ impl Criterion {
             b.elapsed / b.iters as u32
         };
         let target = MEASURE / SAMPLES as u32;
-        let iters = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+        let iters =
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
 
         let mut per_iter_ns: Vec<f64> = Vec::with_capacity(SAMPLES);
         for _ in 0..SAMPLES {

@@ -79,7 +79,9 @@ impl Serialize for f32 {
 }
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_f64().map(|x| x as f32).ok_or_else(|| Error::msg("expected f32"))
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| Error::msg("expected f32"))
     }
 }
 
@@ -103,7 +105,9 @@ impl Serialize for String {
 }
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_str().map(str::to_string).ok_or_else(|| Error::msg("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg("expected string"))
     }
 }
 impl Serialize for str {
@@ -183,7 +187,11 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 }
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Arr(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
@@ -192,7 +200,11 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
         if a.len() != 3 {
             return Err(Error::msg("expected 3-element array"));
         }
-        Ok((A::from_value(&a[0])?, B::from_value(&a[1])?, C::from_value(&a[2])?))
+        Ok((
+            A::from_value(&a[0])?,
+            B::from_value(&a[1])?,
+            C::from_value(&a[2])?,
+        ))
     }
 }
 

@@ -45,13 +45,17 @@ struct Parsed {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let p = parse_item(input);
-    gen_serialize(&p).parse().expect("generated Serialize impl parses")
+    gen_serialize(&p)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let p = parse_item(input);
-    gen_deserialize(&p).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&p)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -137,7 +141,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         i += 1;
         match toks.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => panic!("serde shim derive: expected ':' after field `{name}`, found {other:?}"),
+            other => {
+                panic!("serde shim derive: expected ':' after field `{name}`, found {other:?}")
+            }
         }
         eat_type(&toks, &mut i);
         fields.push(Field { name, skip });
@@ -333,10 +339,15 @@ fn gen_deserialize(p: &Parsed) -> String {
                     }
                 })
                 .collect();
-            format!("::core::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
         }
         Shape::Tuple(fields) if fields.len() == 1 => {
-            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+            format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            )
         }
         Shape::Tuple(fields) => {
             let n = fields.len();

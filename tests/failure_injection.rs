@@ -30,13 +30,7 @@ fn run_lossy_transport(drop_p: f64, seed: u64, total: u64) -> (Vec<u64>, u64) {
         now += step;
         // Send new packets while the window has room.
         while sent < total && tx.pending() < 8 {
-            let pkt = Packet::message(
-                PacketId(sent),
-                PacketKind::Send,
-                NodeId(0),
-                NodeId(1),
-                8,
-            );
+            let pkt = Packet::message(PacketId(sent), PacketKind::Send, NodeId(0), NodeId(1), 8);
             let psn = tx.send(pkt, now);
             if !fabric.drops(&pkt) {
                 wire.push_back((psn, pkt));

@@ -128,11 +128,17 @@ fn eight_node_ring_traffic() {
     use breaking_band::fabric::NetworkModel;
     use breaking_band::nic::NicConfig;
     let n = 8usize;
-    let mut cluster = Cluster::new(n, NetworkModel::paper_default(), NicConfig::default(), 7)
-        .deterministic();
+    let mut cluster =
+        Cluster::new(n, NetworkModel::paper_default(), NicConfig::default(), 7).deterministic();
     let mut tap = NullTap;
     let mut workers: Vec<Worker> = (0..n)
-        .map(|i| Worker::new(NodeId(i as u32), LlpCosts::default().deterministic(), i as u64))
+        .map(|i| {
+            Worker::new(
+                NodeId(i as u32),
+                LlpCosts::default().deterministic(),
+                i as u64,
+            )
+        })
         .collect();
     for w in &mut workers {
         for _ in 0..8 {
@@ -140,10 +146,9 @@ fn eight_node_ring_traffic() {
         }
     }
     for round in 0..8 {
-        for i in 0..n {
+        for (i, w) in workers.iter_mut().enumerate() {
             let dst = NodeId(((i + 1) % n) as u32);
-            workers[i]
-                .post(&mut cluster, Opcode::Send, dst, 8, true, &mut tap)
+            w.post(&mut cluster, Opcode::Send, dst, 8, true, &mut tap)
                 .unwrap_or_else(|_| panic!("round {round} node {i} busy"));
         }
     }

@@ -136,6 +136,10 @@ fn profiler_overhead_is_measurable_and_deductible() {
     }
     let s = profiler.region("empty").unwrap().summary();
     assert!((s.mean - 49.69).abs() < 0.5, "overhead mean {}", s.mean);
-    assert!((s.std_dev - 1.48).abs() < 0.5, "overhead sigma {}", s.std_dev);
+    assert!(
+        (s.std_dev - 1.48).abs() < 0.5,
+        "overhead sigma {}",
+        s.std_dev
+    );
     assert!(profiler.deducted_mean_ns("empty").unwrap() < 1.0);
 }

@@ -24,7 +24,9 @@ fn model_totals() {
         "Eq.1 injection",
     );
     close(
-        OverallInjectionModel::from_calibration(&c).total().as_ns_f64(),
+        OverallInjectionModel::from_calibration(&c)
+            .total()
+            .as_ns_f64(),
         264.97,
         0.01,
         "Eq.2 injection",
@@ -36,7 +38,9 @@ fn model_totals() {
         "LLP latency",
     );
     close(
-        EndToEndLatencyModel::from_calibration(&c).total().as_ns_f64(),
+        EndToEndLatencyModel::from_calibration(&c)
+            .total()
+            .as_ns_f64(),
         1387.02,
         0.05,
         "end-to-end latency",
@@ -51,7 +55,12 @@ fn figure_percentages_fig4_8_12() {
     close(fig4.pct("MD setup").unwrap(), 15.84, 0.1, "Fig4 MD");
     let fig12 = OverallInjectionModel::from_calibration(&c).breakdown();
     close(fig12.pct("Post").unwrap(), 76.23, 0.05, "Fig12 Post");
-    close(fig12.pct("Post_prog").unwrap(), 22.58, 0.05, "Fig12 Post_prog");
+    close(
+        fig12.pct("Post_prog").unwrap(),
+        22.58,
+        0.05,
+        "Fig12 Post_prog",
+    );
     close(fig12.pct("Misc").unwrap(), 1.20, 0.05, "Fig12 Misc");
 }
 
@@ -63,7 +72,12 @@ fn figure_percentages_fig10_13() {
     close(fig10.pct("Switch").unwrap(), 10.05, 0.05, "Fig10 Switch");
     let fig13 = EndToEndLatencyModel::from_calibration(&c).breakdown();
     close(fig13.pct("Wire").unwrap(), 19.81, 0.05, "Fig13 Wire");
-    close(fig13.pct("HLP_rx_prog").unwrap(), 16.20, 0.05, "Fig13 HLP_rx_prog");
+    close(
+        fig13.pct("HLP_rx_prog").unwrap(),
+        16.20,
+        0.05,
+        "Fig13 HLP_rx_prog",
+    );
     close(fig13.pct("HLP_post").unwrap(), 1.91, 0.05, "Fig13 HLP_post");
 }
 
@@ -130,9 +144,19 @@ fn insights() {
     let m = EndToEndLatencyModel::from_calibration(&c);
     use breaking_band::models::latency::Category;
     let on_node = (m.category_total(Category::Cpu) + m.category_total(Category::Io)).as_ns_f64();
-    close(on_node / m.total().as_ns_f64() * 100.0, 72.4, 0.1, "Insight 2");
+    close(
+        on_node / m.total().as_ns_f64() * 100.0,
+        72.4,
+        0.1,
+        "Insight 2",
+    );
     // Insight 4: rx progress is 4.78x tx progress.
-    close(hlp_breakdown::rx_to_tx_progress_ratio(&c), 4.78, 0.02, "Insight 4");
+    close(
+        hlp_breakdown::rx_to_tx_progress_ratio(&c),
+        4.78,
+        0.02,
+        "Insight 4",
+    );
 }
 
 #[test]

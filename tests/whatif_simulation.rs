@@ -51,8 +51,11 @@ fn strongly_ordered_memory_model_removes_barrier_time() {
     // overhead.
     let tx2 = simulated_injection_ns(LlpCosts::default().deterministic());
     let x86 = simulated_injection_ns(
-        LlpCosts::thunderx2(&BarrierModel::strongly_ordered(), &WriteCostModel::default())
-            .deterministic(),
+        LlpCosts::thunderx2(
+            &BarrierModel::strongly_ordered(),
+            &WriteCostModel::default(),
+        )
+        .deterministic(),
     );
     let saved = tx2 - x86;
     // 17.33 + 21.07 = 38.40 ns of barriers... minus the load barrier
