@@ -47,6 +47,7 @@ fn bench(c: &mut Criterion) {
                 cores: 8,
                 messages_per_core: 200,
                 ring_depth: 16,
+                credits: None,
             }))
         })
     });

@@ -12,6 +12,11 @@
 //! repro --timing-json P all  # write per-figure wall-clock to P
 //! repro --seed 7 fig7      # re-seed every stochastic experiment
 //! repro --faults plan.json loss  # inject a fault plan (loss sweep etc.)
+//! repro trace              # whole-stack traced run (flame view)
+//! repro --faults plan.json trace --out trace.json
+//!                          # Chrome trace JSON (open in ui.perfetto.dev):
+//!                          # go-back-N replay windows and backoff gaps
+//!                          # appear on the recovery track
 //! ```
 //!
 //! Figures are independent simulations, so the harness fans them out
@@ -57,6 +62,7 @@ fn main() {
     };
     let json_dir = flag_value("--json");
     let timing_path = flag_value("--timing-json");
+    let trace_out = flag_value("--out");
     if let Some(seed) = flag_value("--seed") {
         let seed: u64 = seed.parse().unwrap_or_else(|_| {
             eprintln!("--seed requires an unsigned integer");
@@ -77,7 +83,7 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--serial] [--seed N] [--faults PLAN.json] [--json DIR] [--timing-json PATH] <target>... | all"
+            "usage: repro [--quick] [--serial] [--seed N] [--faults PLAN.json] [--json DIR] [--timing-json PATH] [--out TRACE.json] <target>... | all"
         );
         eprintln!("targets: {}", ALL_TARGETS.join(" "));
         std::process::exit(2);
@@ -92,6 +98,10 @@ fn main() {
             eprintln!("unknown target {t}; known: {}", ALL_TARGETS.join(" "));
             std::process::exit(2);
         }
+    }
+    if trace_out.is_some() && !targets.contains(&"trace") {
+        eprintln!("--out requires the trace target");
+        std::process::exit(2);
     }
 
     let pool = if serial {
@@ -120,6 +130,11 @@ fn main() {
             std::fs::write(&path, json).expect("write artifact");
             eprintln!("wrote {}", path.display());
         }
+    }
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, bband_bench::trace_chrome_json()).expect("write trace json");
+        eprintln!("wrote {path}");
     }
 
     if let Some(path) = &timing_path {
@@ -197,6 +212,9 @@ fn json_artifact(target: &str, scale: Scale) -> Option<String> {
             "latency_under_loss",
             &bband_bench::loss_sweep(scale),
         )),
+        // Fixed message count: the Chrome trace artifact is
+        // scale-independent (see `trace_chrome_json`).
+        "trace" => bband_bench::trace_chrome_json(),
         _ => return None,
     })
 }

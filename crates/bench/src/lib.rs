@@ -4,6 +4,7 @@
 
 use bband_core::fault;
 use bband_core::latency::Category;
+use bband_core::tracepath;
 use bband_core::validate::{validate_all, ValidationScale};
 use bband_core::whatif::Component;
 use bband_core::{hlp_breakdown, profiles};
@@ -12,11 +13,13 @@ use bband_core::{
     OverallInjectionModel, ScalingModel, WhatIf,
 };
 use bband_microbench::{
-    am_lat, credit_exhaustion_onset, eager_rndv_sweep, put_bw, AmLatConfig, PutBwConfig,
+    am_lat, credit_exhaustion_onset_with, eager_rndv_sweep, put_bw, AmLatConfig, PutBwConfig,
     StackConfig,
 };
 use bband_mpi::{collective_scaling, Collective};
-use bband_report::{render_bar, render_curves, render_histogram, render_loss_sweep, render_table1};
+use bband_report::{
+    render_bar, render_curves, render_flame, render_histogram, render_loss_sweep, render_table1,
+};
 use bband_sim::WorkerPool;
 
 /// Experiment scale: quick (tests) or full (the harness default).
@@ -242,6 +245,15 @@ pub fn validation(scale: Scale) -> String {
             if row.passes() { "ok" } else { "FAIL" }
         ));
     }
+    out.push_str(&format!(
+        "  recovery (e2e run, active fault plan): {} [{}]\n",
+        report.counters.render_compact(),
+        if report.counters.is_clean() {
+            "clean"
+        } else {
+            "ENGAGED"
+        }
+    ));
     out
 }
 
@@ -295,13 +307,24 @@ pub fn ext_crossover() -> String {
     out
 }
 
-/// Multi-core credit-exhaustion onset (§4.2's excluded regime).
+/// Multi-core credit-exhaustion onset (§4.2's excluded regime). A
+/// `--faults` plan's `credits` block overrides the posted-credit pools, so
+/// starved configurations show the onset moving to fewer cores.
 pub fn ext_multicore() -> String {
-    let onset = credit_exhaustion_onset(&StackConfig::validation(), &[1, 4, 16, 64, 128]);
+    let credits = fault::active_plan()
+        .credits
+        .map(|c| (c.hdr, c.data, c.update_batch));
+    let onset =
+        credit_exhaustion_onset_with(&StackConfig::validation(), &[1, 4, 16, 64, 128], credits);
     let mut out = String::from(
         "Multi-core injection: RC posted-credit exhaustion
 ",
     );
+    if let Some((h, d, b)) = credits {
+        out.push_str(&format!(
+            "  (credit override active: hdr={h} data={d} update_batch={b})\n"
+        ));
+    }
     for (cores, stalled) in onset {
         out.push_str(&format!(
             "  {cores:>4} cores: {}
@@ -441,8 +464,65 @@ pub fn loss_sweep(scale: Scale) -> Vec<bband_core::LossPoint> {
     )
 }
 
+/// Extension: the whole-stack traced run — the end-to-end fault pipeline
+/// recorded span by span on the virtual clock, rendered as a flame view
+/// plus the trace-derived Figure-13 breakdown. Under a zero fault plan the
+/// reconstruction is bit-exact against the analytical model (and says so);
+/// under `--faults` the Recovery-layer events (drops, go-back-N rounds,
+/// backoff gaps, replay windows) become visible by name.
+pub fn ext_trace(scale: Scale) -> String {
+    let c = Calibration::default();
+    let plan = fault::active_plan();
+    let messages = match scale {
+        Scale::Quick => 24,
+        Scale::Full => 200,
+    };
+    let (res, trace) = tracepath::traced_e2e(&c, &plan, messages, StackConfig::default().seed);
+    let mut out = render_flame(
+        &format!(
+            "Whole-stack trace: {messages} 8-byte e2e messages ({} fault plan)",
+            if plan.is_zero() { "zero" } else { "active" }
+        ),
+        &trace,
+    );
+    out.push('\n');
+    out.push_str(&render_bar(&tracepath::e2e_breakdown_from_trace(&trace)));
+    match res {
+        Ok(stats) => out.push_str(&format!(
+            "  completed {}/{}; recovery: {}\n",
+            stats.completed,
+            stats.messages,
+            stats.counters.render_compact()
+        )),
+        Err(e) => out.push_str(&format!("  ! {e}\n")),
+    }
+    if plan.is_zero() {
+        let model = EndToEndLatencyModel::from_calibration(&c).total();
+        let exact = tracepath::critical_path_total(&trace) == model * messages;
+        out.push_str(&format!(
+            "  critical path vs analytical model: {}\n",
+            if exact { "bit-exact" } else { "MISMATCH" }
+        ));
+    }
+    out
+}
+
+/// Chrome trace-format JSON of the traced run (Perfetto-loadable). A fixed
+/// message count keeps the artifact scale-independent; the active fault
+/// plan and seed override apply, so `repro --faults ... trace` exports the
+/// faulted timeline.
+pub fn trace_chrome_json() -> String {
+    let (_, trace) = tracepath::traced_e2e(
+        &Calibration::default(),
+        &fault::active_plan(),
+        24,
+        StackConfig::default().seed,
+    );
+    trace.to_chrome_json()
+}
+
 /// Every figure id the harness knows.
-pub const ALL_TARGETS: [&str; 25] = [
+pub const ALL_TARGETS: [&str; 26] = [
     "table1",
     "fig4",
     "fig6",
@@ -468,6 +548,7 @@ pub const ALL_TARGETS: [&str; 25] = [
     "profiles",
     "insights",
     "loss",
+    "trace",
 ];
 
 /// Run one target by name.
@@ -498,6 +579,7 @@ pub fn run_target(name: &str, scale: Scale) -> String {
         "profiles" => ext_profiles(),
         "insights" => ext_insights(),
         "loss" => ext_loss(scale),
+        "trace" => ext_trace(scale),
         other => panic!("unknown target {other}; known: {ALL_TARGETS:?}"),
     }
 }

@@ -43,6 +43,7 @@ use bband_pcie::{
 };
 use bband_profiling::RecoveryCounters;
 use bband_sim::{EventQueue, Pcg64, SimDuration, SimTime, WorkerPool};
+use bband_trace as trace;
 use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -83,6 +84,88 @@ pub struct CreditConfig {
     pub update_batch: u32,
 }
 
+/// Gilbert–Elliott burst-loss channel: a two-state Markov chain (good/bad)
+/// with a per-state loss probability. Real fabrics lose packets in bursts
+/// (a flapping cable, a congested uplink), not i.i.d.; this models the
+/// difference. The chain transitions *before* each packet is sampled, so
+/// `p_good_to_bad = 1` puts the very first packet in the bad state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GilbertElliott {
+    /// Per-packet probability of moving good → bad.
+    pub p_good_to_bad: f64,
+    /// Per-packet probability of moving bad → good.
+    pub p_bad_to_good: f64,
+    /// Loss probability while in the good state (usually ~0).
+    pub loss_good: f64,
+    /// Loss probability while in the bad state (usually large).
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A channel that never leaves the good state and never loses there —
+    /// behaviourally identical to no burst loss at all.
+    pub fn is_zero(&self) -> bool {
+        self.loss_good == 0.0 && (self.p_good_to_bad == 0.0 || self.loss_bad == 0.0)
+    }
+}
+
+impl Deserialize for GilbertElliott {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        if v.as_object().is_none() {
+            return Err(JsonError::msg("GilbertElliott: expected a JSON object"));
+        }
+        Ok(GilbertElliott {
+            p_good_to_bad: opt_field(v, "p_good_to_bad")?.unwrap_or(0.0),
+            p_bad_to_good: opt_field(v, "p_bad_to_good")?.unwrap_or(1.0),
+            loss_good: opt_field(v, "loss_good")?.unwrap_or(0.0),
+            loss_bad: opt_field(v, "loss_bad")?.unwrap_or(0.0),
+        })
+    }
+}
+
+/// The burst-loss channel state machine for one run.
+struct GeChannel {
+    cfg: GilbertElliott,
+    rng: Pcg64,
+    /// True while in the bad state.
+    bad: bool,
+    /// Diagnostics: packets dropped by the burst channel.
+    dropped: u64,
+}
+
+impl GeChannel {
+    fn new(cfg: GilbertElliott, seed: u64) -> Self {
+        GeChannel {
+            cfg,
+            rng: Pcg64::new(seed ^ 0x6E11),
+            bad: false,
+            dropped: 0,
+        }
+    }
+
+    /// Advance the chain one packet and sample loss in the new state.
+    fn drops(&mut self) -> bool {
+        let flip = if self.bad {
+            self.cfg.p_bad_to_good
+        } else {
+            self.cfg.p_good_to_bad
+        };
+        if flip > 0.0 && self.rng.next_bool(flip) {
+            self.bad = !self.bad;
+        }
+        let p = if self.bad {
+            self.cfg.loss_bad
+        } else {
+            self.cfg.loss_good
+        };
+        let lost = p > 0.0 && self.rng.next_bool(p);
+        if lost {
+            self.dropped += 1;
+        }
+        lost
+    }
+}
+
 /// An absolute window of simulated time during which the initiator NIC
 /// transmits nothing into the fabric (firmware hiccup, PFC pause, …).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,8 +183,12 @@ pub struct StallWindow {
 /// defaults, so `{"loss_probability": 1e-3}` is a complete plan.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FaultPlan {
-    /// Per-packet drop probability on the fabric (data and ACK/NAK alike).
+    /// Per-packet drop probability on the fabric (data and ACK/NAK alike),
+    /// i.i.d. per packet.
     pub loss_probability: f64,
+    /// Bursty fabric loss layered on top of the i.i.d. loss: a packet is
+    /// dropped if *either* channel drops it.
+    pub burst_loss: Option<GilbertElliott>,
     /// Per-traversal TLP LCRC-corruption probability on each PCIe link.
     pub corruption_probability: f64,
     /// TX-link credit pool override; `None` keeps the ConnectX-4 default.
@@ -117,6 +204,7 @@ impl FaultPlan {
     pub fn none() -> Self {
         FaultPlan {
             loss_probability: 0.0,
+            burst_loss: None,
             corruption_probability: 0.0,
             credits: None,
             nic_stalls: Vec::new(),
@@ -128,6 +216,7 @@ impl FaultPlan {
     /// hold for it.
     pub fn is_zero(&self) -> bool {
         self.loss_probability == 0.0
+            && self.burst_loss.is_none_or(|g| g.is_zero())
             && self.corruption_probability == 0.0
             && self.credits.is_none()
             && self.nic_stalls.is_empty()
@@ -161,6 +250,7 @@ impl Deserialize for FaultPlan {
         let d = FaultPlan::none();
         Ok(FaultPlan {
             loss_probability: opt_field(v, "loss_probability")?.unwrap_or(d.loss_probability),
+            burst_loss: opt_field(v, "burst_loss")?,
             corruption_probability: opt_field(v, "corruption_probability")?
                 .unwrap_or(d.corruption_probability),
             credits: opt_field(v, "credits")?,
@@ -286,6 +376,10 @@ struct PcieChannel {
     clock: SimTime,
     /// ACK DLLPs in flight back to the sender: (seq, arrival time).
     pending_acks: VecDeque<(SeqNum, SimTime)>,
+    /// Trace identity of this link direction: the Figure-13 slice name of
+    /// the successful leg and the layer (track) it renders on.
+    span_name: &'static str,
+    layer: trace::Layer,
 }
 
 /// Outcome of one TLP traversal.
@@ -298,7 +392,14 @@ struct Traversal {
 }
 
 impl PcieChannel {
-    fn new(pcie: SimDuration, corruption: f64, seed: u64, fc_recv: Option<FlowControl>) -> Self {
+    fn new(
+        pcie: SimDuration,
+        corruption: f64,
+        seed: u64,
+        fc_recv: Option<FlowControl>,
+        span_name: &'static str,
+        layer: trace::Layer,
+    ) -> Self {
         PcieChannel {
             buf: ReplayBuffer::new(32),
             rx: DllReceiver::new(),
@@ -307,6 +408,8 @@ impl PcieChannel {
             pcie,
             clock: SimTime::ZERO,
             pending_acks: VecDeque::new(),
+            span_name,
+            layer,
         }
     }
 
@@ -339,6 +442,13 @@ impl PcieChannel {
                         .map(|&(_, due)| due)
                         .expect("replay buffer full implies an ACK in flight");
                     k.recovery_time += due.since(depart);
+                    trace::span(
+                        trace::Layer::Recovery,
+                        "replay_stall",
+                        depart,
+                        due,
+                        tlp.id.0,
+                    );
                     depart = due;
                     self.reap_acks(depart);
                 }
@@ -352,6 +462,7 @@ impl PcieChannel {
                         .push_back((ack_up_to, arrival + self.pcie));
                     let grant = self.fc_recv.as_mut().and_then(|fc| fc.drain(&tlp));
                     self.clock = arrival;
+                    trace::span(self.layer, self.span_name, depart, arrival, tlp.id.0);
                     return Traversal {
                         delivered: arrival,
                         grant,
@@ -361,6 +472,13 @@ impl PcieChannel {
                     // NACK DLLP returns (+pcie); the replay departs then.
                     let replayed = self.buf.nack(expected);
                     debug_assert_eq!(replayed.len(), 1, "serialized link replays one TLP");
+                    trace::span_dur(
+                        trace::Layer::Recovery,
+                        "dll_replay_rt",
+                        depart,
+                        self.pcie * 2,
+                        seq.0 as u64,
+                    );
                     depart = arrival + self.pcie;
                     k.recovery_time += self.pcie * 2;
                 }
@@ -375,11 +493,18 @@ impl PcieChannel {
 /// The recovery simulation for one run.
 struct FaultSim {
     plan: FaultPlan,
-    // Calibrated stage costs.
-    cpu_post: SimDuration,
-    net: SimDuration,
+    // Calibrated stage costs, kept per component so the trace can expose
+    // the Figure-13 slices. The combined stage costs below are sums of
+    // these; integer-picosecond addition is associative, so charging the
+    // components sequentially lands on the same instants as charging the
+    // sums did.
+    hlp_post: SimDuration,
+    llp_post: SimDuration,
+    wire: SimDuration,
+    switch: SimDuration,
     rc_to_mem: SimDuration,
-    cpu_prog: SimDuration,
+    llp_prog: SimDuration,
+    hlp_rx_prog: SimDuration,
     // Machinery.
     queue: EventQueue<Ev>,
     ids: TlpIdGen,
@@ -389,6 +514,7 @@ struct FaultSim {
     rc_tx: RcSender,
     rc_rx: RcReceiver,
     fabric: LossyFabric,
+    burst: Option<GeChannel>,
     /// Messages blocked on credits: (msg, time the MMIO was ready).
     credit_waiters: VecDeque<(u64, Tlp, SimTime)>,
     /// When the target CPU is next free to reap a completion.
@@ -437,10 +563,13 @@ impl FaultSim {
         }
         FaultSim {
             plan: plan.clone(),
-            cpu_post: cal.hlp_post() + cal.llp_post(),
-            net: cal.wire() + cal.switch(),
+            hlp_post: cal.hlp_post(),
+            llp_post: cal.llp_post(),
+            wire: cal.wire(),
+            switch: cal.switch(),
             rc_to_mem: cal.rc_to_mem_8b(),
-            cpu_prog: cal.llp_prog() + cal.hlp_rx_prog(),
+            llp_prog: cal.llp_prog(),
+            hlp_rx_prog: cal.hlp_rx_prog(),
             queue,
             ids: TlpIdGen::new(),
             fc_issue,
@@ -449,11 +578,21 @@ impl FaultSim {
                 plan.corruption_probability,
                 seed ^ 0x7C1,
                 Some(fc_recv),
+                "TX PCIe",
+                trace::Layer::PcieTx,
             ),
-            rx_chan: PcieChannel::new(cal.pcie(), plan.corruption_probability, seed ^ 0x7C2, None),
+            rx_chan: PcieChannel::new(
+                cal.pcie(),
+                plan.corruption_probability,
+                seed ^ 0x7C2,
+                None,
+                "RX PCIe",
+                trace::Layer::PcieRx,
+            ),
             rc_tx: RcSender::new(retry_timeout),
             rc_rx: RcReceiver::new(),
             fabric: LossyFabric::new(plan.loss_probability, seed),
+            burst: plan.burst_loss.map(|g| GeChannel::new(g, seed)),
             credit_waiters: VecDeque::new(),
             target_cpu_free: SimTime::ZERO,
             post_time,
@@ -463,6 +602,19 @@ impl FaultSim {
             lat_max_ns: 0.0,
             counters: RecoveryCounters::new(),
         }
+    }
+
+    /// Combined fabric-loss oracle: i.i.d. loss OR the burst channel.
+    /// Both channels always advance on every packet, so adding one does
+    /// not perturb the other's random stream.
+    fn fabric_drops(&mut self, pkt: &Packet) -> bool {
+        let iid = self.fabric.drops(pkt);
+        let burst = self.burst.as_mut().is_some_and(GeChannel::drops);
+        iid || burst
+    }
+
+    fn net(&self) -> SimDuration {
+        self.wire + self.switch
     }
 
     /// Defer a fabric departure out of any injected NIC stall window.
@@ -475,6 +627,7 @@ impl FaultSim {
                 if t >= start && t < end {
                     self.counters.nic_stalls += 1;
                     self.counters.recovery_time += end.since(t);
+                    trace::span(trace::Layer::Recovery, "nic_stall", t, end, 0);
                     t = end;
                     deferred = true;
                 }
@@ -496,14 +649,21 @@ impl FaultSim {
     /// fabric, departing the NIC at `t`.
     fn launch(&mut self, msg: u64, psn: Psn, pkt: &Packet, t: SimTime) {
         let depart = self.defer_nic_stall(t);
-        if !self.fabric.drops(pkt) {
-            self.queue
-                .push(depart + self.net, Ev::PktArrive { msg, psn });
+        if !self.fabric_drops(pkt) {
+            // The fabric leg decomposes into the Figure-13 wire and switch
+            // slices; wire + switch is the old combined `net` charge.
+            let at_switch = depart + self.wire;
+            let arrive = at_switch + self.switch;
+            trace::span(trace::Layer::Wire, "Wire", depart, at_switch, msg);
+            trace::span(trace::Layer::Switch, "Switch", at_switch, arrive, msg);
+            self.queue.push(arrive, Ev::PktArrive { msg, psn });
+        } else {
+            trace::instant(trace::Layer::Recovery, "pkt_drop", depart, msg);
         }
     }
 
     /// Send a transport ACK or NAK back across the fabric (droppable).
-    fn launch_ctrl(&mut self, t: SimTime, ev: Ev) {
+    fn launch_ctrl(&mut self, t: SimTime, name: &'static str, ev: Ev) {
         let ctrl = Packet::message(
             PacketId(u64::MAX),
             PacketKind::Send,
@@ -512,8 +672,11 @@ impl FaultSim {
             0,
         )
         .ack_for(PacketId(u64::MAX));
-        if !self.fabric.drops(&ctrl) {
-            self.queue.push(t + self.net, ev);
+        if !self.fabric_drops(&ctrl) {
+            trace::span(trace::Layer::Transport, name, t, t + self.net(), 0);
+            self.queue.push(t + self.net(), ev);
+        } else {
+            trace::instant(trace::Layer::Recovery, "ctrl_drop", t, 0);
         }
     }
 
@@ -539,7 +702,10 @@ impl FaultSim {
     /// The initiator CPU posts message `msg` at `t`: CPU work, then the
     /// credit gate, then [`FaultSim::transmit`].
     fn post(&mut self, msg: u64, t: SimTime) {
-        let ready = t + self.cpu_post;
+        let hlp_done = t + self.hlp_post;
+        let ready = hlp_done + self.llp_post;
+        trace::span(trace::Layer::Hlp, "HLP_post", t, hlp_done, msg);
+        trace::span(trace::Layer::Llp, "LLP_post", hlp_done, ready, msg);
         let tlp = Tlp::pio_chunk(self.ids.next());
         if !self.credit_waiters.is_empty() || self.fc_issue.consume(&tlp).is_err() {
             self.credit_waiters.push_back((msg, tlp, ready));
@@ -554,8 +720,28 @@ impl FaultSim {
         let tlp = Tlp::payload_deliver(self.ids.next(), 8);
         let out = self.rx_chan.traverse(t, tlp, &mut self.counters);
         let in_memory = out.delivered + self.rc_to_mem;
+        trace::span(
+            trace::Layer::Memory,
+            "RC-to-MEM(8B)",
+            out.delivered,
+            in_memory,
+            msg,
+        );
         let reap_start = self.target_cpu_free.max_of(in_memory);
-        let done = reap_start + self.cpu_prog;
+        if reap_start > in_memory {
+            // The target CPU was still reaping an earlier message.
+            trace::span(
+                trace::Layer::Recovery,
+                "reap_wait",
+                in_memory,
+                reap_start,
+                msg,
+            );
+        }
+        let llp_done = reap_start + self.llp_prog;
+        let done = llp_done + self.hlp_rx_prog;
+        trace::span(trace::Layer::Llp, "LLP_prog", reap_start, llp_done, msg);
+        trace::span(trace::Layer::Hlp, "HLP_rx_prog", llp_done, done, msg);
         self.target_cpu_free = done;
         let latency = done.since(self.post_time[msg as usize]).as_ns_f64();
         self.completed += 1;
@@ -579,18 +765,23 @@ impl FaultSim {
             let Some((t, ev)) = self.queue.pop() else {
                 unreachable!("event queue drained with messages outstanding");
             };
+            if trace::enabled() {
+                // Publish the virtual clock for clock-less substrate sites
+                // (credit pools, LCRC checks) that emit `instant_now`.
+                trace::set_now(t);
+            }
             match ev {
                 Ev::Post { msg } => self.post(msg, t),
                 Ev::PktArrive { msg, psn } => match self.rc_rx.on_packet(psn) {
                     RcVerdict::Deliver { ack } => {
                         self.deliver(msg, t);
-                        self.launch_ctrl(t, Ev::AckArrive { psn: ack });
+                        self.launch_ctrl(t, "ack_flight", Ev::AckArrive { psn: ack });
                     }
                     RcVerdict::Nak { expected } => {
-                        self.launch_ctrl(t, Ev::NakArrive { psn: expected });
+                        self.launch_ctrl(t, "nak_flight", Ev::NakArrive { psn: expected });
                     }
                     RcVerdict::DuplicateAck { ack } => {
-                        self.launch_ctrl(t, Ev::AckArrive { psn: ack });
+                        self.launch_ctrl(t, "ack_flight", Ev::AckArrive { psn: ack });
                     }
                 },
                 Ev::AckArrive { psn } => {
@@ -600,13 +791,23 @@ impl FaultSim {
                 Ev::NakArrive { psn } => {
                     // NAK recovery costs one fabric round trip beyond the
                     // fault-free path.
-                    self.counters.recovery_time += self.net * 2;
+                    self.counters.recovery_time += self.net() * 2;
                     let resends = self.rc_tx.on_nak(psn, t);
                     self.relaunch(resends, t);
                 }
                 Ev::Timer => match self.rc_tx.next_deadline() {
                     Some(deadline) if deadline <= t => {
-                        self.counters.recovery_time += self.rc_tx.effective_timeout();
+                        let backoff = self.rc_tx.effective_timeout();
+                        self.counters.recovery_time += backoff;
+                        // The backoff gap the oldest packet waited out,
+                        // ending at the timer firing.
+                        trace::span(
+                            trace::Layer::Recovery,
+                            "rto_backoff",
+                            t - backoff,
+                            t,
+                            self.rc_tx.front_retries() as u64 + 1,
+                        );
                         let resends = self.rc_tx.on_timer(t);
                         if self.rc_tx.front_retries() > self.plan.retry.max_retries {
                             let (psn, pkt) = self
@@ -639,6 +840,9 @@ impl FaultSim {
                         // the MMIO write goes out at the later of the two.
                         let start = t.max_of(ready);
                         self.counters.recovery_time += start.since(ready);
+                        if start > ready {
+                            trace::span(trace::Layer::Recovery, "credit_wait", ready, start, msg);
+                        }
                         self.transmit(msg, tlp, start);
                     }
                 }
@@ -678,11 +882,22 @@ pub fn run_e2e_under_faults(
     messages: u64,
     seed: u64,
 ) -> Result<FaultRunStats, RetryExhausted> {
-    let (stats, aborted) = FaultSim::new(cal, plan, messages, seed).run(messages);
+    let (stats, aborted) = run_raw(cal, plan, messages, seed);
     match aborted {
         Some(e) => Err(e),
         None => Ok(stats),
     }
+}
+
+/// Like [`run_e2e_under_faults`] but keeps the partial statistics when the
+/// retry budget trips — the traced runs ([`crate::tracepath`]) want both.
+pub(crate) fn run_raw(
+    cal: &Calibration,
+    plan: &FaultPlan,
+    messages: u64,
+    seed: u64,
+) -> (FaultRunStats, Option<RetryExhausted>) {
+    FaultSim::new(cal, plan, messages, seed).run(messages)
 }
 
 /// The `latency_under_loss` experiment: sweep fabric loss probability over
@@ -875,6 +1090,99 @@ mod tests {
         assert!(sparse.nic_stalls.is_empty());
         assert!(FaultPlan::from_json_str("{}").unwrap().is_zero());
         assert!(FaultPlan::from_json_str("42").is_err());
+    }
+
+    /// A bursty channel must engage go-back-N recovery, and every message
+    /// must still complete.
+    #[test]
+    fn burst_loss_engages_recovery_and_completes() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        plan.burst_loss = Some(GilbertElliott {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.3,
+            loss_good: 0.0,
+            loss_bad: 0.8,
+        });
+        let stats = run_e2e_under_faults(&c, &plan, 400, 42).unwrap();
+        assert_eq!(stats.completed, 400, "every message must still complete");
+        assert!(
+            stats.counters.rc_naks > 0 || stats.counters.rc_timeouts > 0,
+            "bursts must trigger transport recovery: {:?}",
+            stats.counters
+        );
+        assert!(stats.counters.rc_retransmissions > 0);
+        let model_ns = EndToEndLatencyModel::from_calibration(&c)
+            .total()
+            .as_ns_f64();
+        assert!(stats.max_ns > model_ns, "recovery must cost latency");
+    }
+
+    /// A burst channel that never loses is indistinguishable from none.
+    #[test]
+    fn zero_burst_channel_stays_bit_exact() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        plan.burst_loss = Some(GilbertElliott {
+            p_good_to_bad: 0.5,
+            p_bad_to_good: 0.5,
+            loss_good: 0.0,
+            loss_bad: 0.0,
+        });
+        assert!(plan.is_zero());
+        let model_ns = EndToEndLatencyModel::from_calibration(&c)
+            .total()
+            .as_ns_f64();
+        let stats = run_e2e_under_faults(&c, &plan, 32, 9).unwrap();
+        assert_eq!(stats.min_ns, model_ns);
+        assert_eq!(stats.max_ns, model_ns);
+        assert!(stats.counters.is_clean());
+    }
+
+    /// Burst-loss config survives the sparse-JSON roundtrip, with the
+    /// documented defaults for omitted fields.
+    #[test]
+    fn burst_loss_json_roundtrip_and_defaults() {
+        let mut plan = FaultPlan::none();
+        plan.burst_loss = Some(GilbertElliott {
+            p_good_to_bad: 0.01,
+            p_bad_to_good: 0.25,
+            loss_good: 1e-6,
+            loss_bad: 0.5,
+        });
+        let back = FaultPlan::from_json_str(&plan.to_json_string()).unwrap();
+        assert_eq!(back, plan);
+        // Sparse: only the bad-state loss given; the chain defaults to
+        // "recover immediately" (p_bad_to_good = 1) and a clean good state.
+        let sparse = FaultPlan::from_json_str("{\"burst_loss\": {\"loss_bad\": 0.9}}").unwrap();
+        let g = sparse.burst_loss.unwrap();
+        assert_eq!(g.p_good_to_bad, 0.0);
+        assert_eq!(g.p_bad_to_good, 1.0);
+        assert_eq!(g.loss_good, 0.0);
+        assert_eq!(g.loss_bad, 0.9);
+        assert!(sparse.is_zero(), "no path into the bad state");
+        assert!(FaultPlan::from_json_str("{\"burst_loss\": 3}").is_err());
+    }
+
+    /// With `p_good_to_bad = 1` and a lossless good state, every loss the
+    /// run sees comes from the burst channel's bad state.
+    #[test]
+    fn burst_bad_state_dominates_when_forced() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        plan.burst_loss = Some(GilbertElliott {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 0.0,
+            loss_good: 0.0,
+            loss_bad: 0.3,
+        });
+        let stats = run_e2e_under_faults(&c, &plan, 200, 11).unwrap();
+        assert_eq!(stats.completed, 200);
+        assert!(
+            stats.counters.rc_retransmissions > 0,
+            "a permanent 30% bad state must lose packets: {:?}",
+            stats.counters
+        );
     }
 
     /// The pooled sweep must be bit-identical to a serial one.

@@ -14,6 +14,9 @@
 //! * [`fault`] — fault injection and recovery threaded into the
 //!   end-to-end path: serializable [`FaultPlan`]s, the discrete-event
 //!   recovery simulation, and the `latency_under_loss` sweep;
+//! * [`tracepath`] — trace-derived breakdowns: traced runs of the fault
+//!   path and Equation 1's injection loop, reduced back to the paper's
+//!   figures and proven bit-exact against the models;
 //! * [`hlp_breakdown`] — the HLP-vs-LLP and MPICH-vs-UCP splits of
 //!   Figures 11 and 14;
 //! * [`whatif`] — the §7 simulated-optimization engine behind Figure 17,
@@ -30,6 +33,7 @@ pub mod insights;
 pub mod latency;
 pub mod profiles;
 pub mod scaling;
+pub mod tracepath;
 pub mod validate;
 pub mod whatif;
 
@@ -39,5 +43,6 @@ pub use fault::{FaultPlan, FaultRunStats, LossPoint, RetryExhausted, RetryPolicy
 pub use injection::{InjectionModel, OverallInjectionModel};
 pub use latency::{Category, EndToEndLatencyModel, LlpLatencyModel};
 pub use scaling::ScalingModel;
+pub use tracepath::{traced_e2e, traced_injection, traced_loss_sweep};
 pub use validate::{validate_all, ValidationReport};
 pub use whatif::{Component, WhatIf};

@@ -1,0 +1,297 @@
+//! Trace-derived breakdowns: rebuild the paper's figures from recorded
+//! spans and prove them against the analytical models.
+//!
+//! The instrumented fault path ([`crate::fault`]) and the model-faithful
+//! injection loop below emit [`bband_trace`] spans named after the
+//! paper's breakdown slices. This module reduces a recorded [`Trace`]
+//! back into [`Breakdown`]s and asserts — in tests, bit-exactly in
+//! integer picoseconds — that the reconstruction agrees with
+//! [`EndToEndLatencyModel`] and [`InjectionModel`]:
+//!
+//! * a zero-fault traced run of [`traced_e2e`] yields exactly the nine
+//!   Figure-13 slices per message, summing to
+//!   [`EndToEndLatencyModel::total`];
+//! * [`traced_injection`] replays Equation 1's per-message CPU charges
+//!   (`LLP_post + LLP_prog + busy_post + measurement_update`) and its
+//!   trace reduces to the Figure-8 three-way split, summing to
+//!   [`InjectionModel::total`].
+//!
+//! This is the cross-check the paper performs by measurement (model vs
+//! observed, §5): here both sides live in the same integer virtual
+//! clock, so agreement is exact, not approximate — any drift between the
+//! event-driven simulation and the closed-form model is a test failure,
+//! not a tolerance.
+
+use crate::breakdown::Breakdown;
+use crate::calibration::Calibration;
+use crate::fault::{run_raw, FaultPlan, FaultRunStats, LossPoint, RetryExhausted};
+use crate::injection::InjectionModel;
+use bband_sim::{Pcg64, SimDuration, SimTime, WorkerPool};
+use bband_trace as trace;
+use bband_trace::Trace;
+
+/// The nine Figure-13 end-to-end slices, in critical-path order. These are
+/// the span names the instrumented fault path emits for one message.
+pub const FIG13_SLICES: [&str; 9] = [
+    "HLP_post",
+    "LLP_post",
+    "TX PCIe",
+    "Wire",
+    "Switch",
+    "RX PCIe",
+    "RC-to-MEM(8B)",
+    "LLP_prog",
+    "HLP_rx_prog",
+];
+
+/// Ring capacity per traced task: the fault-free path records ~10 spans
+/// per message; recovery adds more. Size generously so traces for the
+/// message counts the experiments use never wrap.
+fn ring_capacity(messages: u64) -> usize {
+    (messages as usize)
+        .saturating_mul(64)
+        .clamp(1 << 10, 1 << 22)
+}
+
+/// Run the end-to-end fault simulation with tracing enabled. Returns the
+/// run result alongside the recorded single-task [`Trace`].
+pub fn traced_e2e(
+    cal: &Calibration,
+    plan: &FaultPlan,
+    messages: u64,
+    seed: u64,
+) -> (Result<FaultRunStats, RetryExhausted>, Trace) {
+    let (out, task) = trace::collect(ring_capacity(messages), || {
+        let (stats, aborted) = run_raw(cal, plan, messages, seed);
+        match aborted {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    });
+    (out, Trace::from_task(task))
+}
+
+/// The traced loss sweep: one pool task per grid point, each recording
+/// into its own ring, merged by task index. Which OS thread ran a point
+/// is invisible, so serial and pooled sweeps produce byte-identical
+/// merged traces (the determinism test in this module).
+pub fn traced_loss_sweep(
+    cal: &Calibration,
+    base: &FaultPlan,
+    grid: &[f64],
+    messages: u64,
+    seed: u64,
+    pool: &WorkerPool,
+) -> (Vec<LossPoint>, Trace) {
+    let points: Vec<f64> = grid.to_vec();
+    let results = pool.map(points, |idx, loss| {
+        let mut plan = base.clone();
+        plan.loss_probability = loss;
+        let task_seed = Pcg64::new(seed).fork(idx as u64).next_u64();
+        trace::collect(ring_capacity(messages), || {
+            let (stats, aborted) = run_raw(cal, &plan, messages, task_seed);
+            LossPoint {
+                loss_probability: loss,
+                stats,
+                retry_exhausted: aborted,
+            }
+        })
+    });
+    let (points, tasks): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    (points, Trace::from_tasks(tasks))
+}
+
+/// Replay Equation 1's injection loop with tracing: each message charges
+/// `LLP_post`, `LLP_prog`, `busy_post`, and `measurement_update`
+/// sequentially on the virtual clock — the same integer-picosecond
+/// charges [`InjectionModel`] sums analytically. Returns the loop's total
+/// elapsed virtual time and the recorded trace.
+pub fn traced_injection(cal: &Calibration, messages: u64) -> (SimDuration, Trace) {
+    let m = InjectionModel::from_calibration(cal);
+    let (elapsed, task) = trace::collect(ring_capacity(messages), || {
+        let mut t = SimTime::ZERO;
+        for msg in 0..messages {
+            let post_done = t + m.llp_post;
+            trace::span(trace::Layer::Llp, "LLP_post", t, post_done, msg);
+            let prog_done = post_done + m.llp_prog;
+            trace::span(trace::Layer::Llp, "LLP_prog", post_done, prog_done, msg);
+            let busy_done = prog_done + m.busy_post;
+            trace::span(trace::Layer::Llp, "busy_post", prog_done, busy_done, msg);
+            let next = busy_done + m.measurement_update;
+            trace::span(
+                trace::Layer::Llp,
+                "measurement_update",
+                busy_done,
+                next,
+                msg,
+            );
+            t = next;
+        }
+        t.since(SimTime::ZERO)
+    });
+    (elapsed, Trace::from_task(task))
+}
+
+/// Rebuild the Figure-13 end-to-end breakdown from a recorded trace: the
+/// per-slice sums over every message traced. On a zero-fault trace of
+/// `n` messages each slice equals `n ×` the model's component.
+pub fn e2e_breakdown_from_trace(t: &Trace) -> Breakdown {
+    let mut b = Breakdown::new("End-to-end latency, trace-derived (Fig. 13)");
+    for name in FIG13_SLICES {
+        b.push(name, t.total_for(name));
+    }
+    b
+}
+
+/// Rebuild the Figure-8 injection breakdown from a [`traced_injection`]
+/// trace: `Misc` re-aggregates the separately-recorded `busy_post` and
+/// `measurement_update` spans, exactly as Equation 1 defines it.
+pub fn injection_breakdown_from_trace(t: &Trace) -> Breakdown {
+    Breakdown::new("Injection overhead, trace-derived (Fig. 8)")
+        .with("LLP_post", t.total_for("LLP_post"))
+        .with("LLP_prog", t.total_for("LLP_prog"))
+        .with(
+            "Misc",
+            t.total_for("busy_post") + t.total_for("measurement_update"),
+        )
+}
+
+/// Sum of the nine critical-path slices across the trace — the
+/// trace-derived counterpart of [`EndToEndLatencyModel::total`] scaled by
+/// the number of traced messages.
+pub fn critical_path_total(t: &Trace) -> SimDuration {
+    FIG13_SLICES
+        .iter()
+        .map(|name| t.total_for(name))
+        .fold(SimDuration::ZERO, |a, d| a + d)
+}
+
+/// Virtual time the trace attributes to recovery machinery (the
+/// `Recovery` layer): stall windows, replay rounds, backoff gaps,
+/// credit waits. Zero on a fault-free run.
+pub fn recovery_total(t: &Trace) -> SimDuration {
+    t.tasks()
+        .iter()
+        .flat_map(|task| task.spans.iter())
+        .filter(|s| s.layer == trace::Layer::Recovery)
+        .map(|s| s.dur)
+        .fold(SimDuration::ZERO, |a, d| a + d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::DEFAULT_LOSS_GRID;
+    use crate::latency::EndToEndLatencyModel;
+
+    fn cal() -> Calibration {
+        Calibration::default()
+    }
+
+    /// **The acceptance criterion**: the trace-derived breakdown of the
+    /// zero-fault 8-byte end-to-end path agrees bit-exactly (integer
+    /// picoseconds) with the analytical model — slice by slice, and in
+    /// total.
+    #[test]
+    fn zero_fault_trace_breakdown_matches_model_bit_exactly() {
+        let c = cal();
+        let n = 16u64;
+        let model = EndToEndLatencyModel::from_calibration(&c);
+        let (res, t) = traced_e2e(&c, &FaultPlan::none(), n, 0x5EED);
+        assert_eq!(res.unwrap().completed, n);
+        assert_eq!(t.dropped(), 0, "ring must not wrap");
+
+        let derived = e2e_breakdown_from_trace(&t);
+        let expect = model.breakdown();
+        assert_eq!(derived.len(), 9);
+        for (name, dur) in expect.items() {
+            let got = derived.get(name).unwrap();
+            assert_eq!(got, *dur * n, "slice {name}: trace {got} != model × {n}");
+        }
+        assert_eq!(critical_path_total(&t), model.total() * n);
+        assert_eq!(recovery_total(&t), SimDuration::ZERO);
+    }
+
+    /// Equation 1, reconstructed: the traced injection loop's total and
+    /// Figure-8 split equal [`InjectionModel`] bit-exactly.
+    #[test]
+    fn traced_injection_matches_eq1_bit_exactly() {
+        let c = cal();
+        let n = 100u64;
+        let m = InjectionModel::from_calibration(&c);
+        let (elapsed, t) = traced_injection(&c, n);
+        assert_eq!(elapsed, m.total() * n);
+        assert_eq!(t.dropped(), 0);
+
+        let b = injection_breakdown_from_trace(&t);
+        assert_eq!(b.get("LLP_post").unwrap(), m.llp_post * n);
+        assert_eq!(b.get("LLP_prog").unwrap(), m.llp_prog * n);
+        assert_eq!(b.get("Misc").unwrap(), m.misc() * n);
+        assert_eq!(b.total(), m.total() * n);
+        // And the shares reproduce the modeled Figure-8 percentages.
+        assert!((b.pct("LLP_post").unwrap() - 59.32).abs() < 0.1);
+    }
+
+    /// Under faults, the trace accounts for the excess: critical-path
+    /// slices plus Recovery-layer spans cover the latency the counters
+    /// charge to recovery.
+    #[test]
+    fn faulted_trace_shows_recovery_spans() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        plan.loss_probability = 0.05;
+        let (res, t) = traced_e2e(&c, &plan, 200, 42);
+        let stats = res.unwrap();
+        assert!(!stats.counters.is_clean());
+        assert!(
+            recovery_total(&t) > SimDuration::ZERO
+                || t.spans()
+                    .any(|(_, s)| s.layer == trace::Layer::Recovery && s.is_instant()),
+            "recovery must leave a trace"
+        );
+        // Dropped packets and control flights are visible by name.
+        assert!(t
+            .spans()
+            .any(|(_, s)| s.name == "pkt_drop" || s.name == "rto_backoff"));
+        assert!(t.spans().any(|(_, s)| s.name == "ack_flight"));
+    }
+
+    /// Satellite: serial and pooled sweeps record byte-identical merged
+    /// traces — the Chrome JSON strings are equal, not merely equivalent.
+    #[test]
+    fn traced_sweep_is_pool_invariant_byte_identical() {
+        let c = cal();
+        let base = FaultPlan::none();
+        let (pts_a, trace_a) = traced_loss_sweep(
+            &c,
+            &base,
+            &DEFAULT_LOSS_GRID,
+            40,
+            0x5EED,
+            &WorkerPool::with_threads(1),
+        );
+        let (pts_b, trace_b) = traced_loss_sweep(
+            &c,
+            &base,
+            &DEFAULT_LOSS_GRID,
+            40,
+            0x5EED,
+            &WorkerPool::with_threads(4),
+        );
+        assert_eq!(pts_a, pts_b);
+        assert_eq!(trace_a.len(), trace_b.len());
+        assert_eq!(trace_a.to_chrome_json(), trace_b.to_chrome_json());
+    }
+
+    /// The zero-fault traced run and the untraced run agree on latency —
+    /// tracing observes the simulation, it never perturbs it.
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        plan.loss_probability = 0.02;
+        let untraced = crate::fault::run_e2e_under_faults(&c, &plan, 100, 7).unwrap();
+        let (traced, _) = traced_e2e(&c, &plan, 100, 7);
+        assert_eq!(untraced, traced.unwrap());
+    }
+}

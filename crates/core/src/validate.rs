@@ -13,6 +13,7 @@
 //! benchmarks; the same agreement thresholds are asserted.
 
 use crate::calibration::Calibration;
+use crate::fault;
 use crate::injection::{InjectionModel, OverallInjectionModel};
 use crate::latency::{EndToEndLatencyModel, LlpLatencyModel};
 use bband_microbench::{
@@ -20,6 +21,7 @@ use bband_microbench::{
     PutBwConfig, StackConfig,
 };
 use bband_profiling::profiler::UCS_OVERHEAD_MEAN_NS;
+use bband_profiling::RecoveryCounters;
 use serde::Serialize;
 
 /// One model-vs-observed row.
@@ -55,6 +57,13 @@ impl ValidationRow {
 #[derive(Debug, Clone, Serialize)]
 pub struct ValidationReport {
     pub rows: Vec<ValidationRow>,
+    /// Recovery counters from an end-to-end run under the active fault
+    /// plan (the `repro --faults` override, or fault-free). The validated
+    /// models describe the fault-free fast path, so a validation run under
+    /// the default plan must observe a clean block — any engagement here
+    /// flags that the observed numbers include recovery time the models
+    /// do not.
+    pub counters: RecoveryCounters,
 }
 
 impl ValidationReport {
@@ -155,7 +164,19 @@ pub fn validate_all(c: &Calibration, scale: ValidationScale, jittered: bool) -> 
     });
     let observed_e2e = r.observed.summary().mean - UCS_OVERHEAD_MEAN_NS / 2.0;
 
+    // 5) Recovery engagement of the same end-to-end path, under the active
+    //    fault plan (fault-free by default: the counters must come back
+    //    clean, confirming the observations above carry no recovery time).
+    let (fault_stats, _aborted) = fault::run_raw(
+        c,
+        &fault::active_plan(),
+        scale.osu_lat_iterations,
+        StackConfig::default().seed,
+    );
+    let counters = fault_stats.counters;
+
     ValidationReport {
+        counters,
         rows: vec![
             ValidationRow::new(
                 "LLP injection overhead (Eq. 1)",
@@ -202,6 +223,18 @@ mod tests {
             report.all_pass(),
             "jittered validation failed: {:#?}",
             report.rows
+        );
+    }
+
+    #[test]
+    fn default_validation_counters_are_clean() {
+        // The validated models describe the fault-free fast path; with no
+        // --faults override the recovery block must come back all-zero.
+        let report = validate_all(&Calibration::default(), ValidationScale::quick(), false);
+        assert!(
+            report.counters.is_clean(),
+            "fault-free validation engaged recovery: {:?}",
+            report.counters
         );
     }
 

@@ -9,6 +9,7 @@
 
 use crate::packet::{Packet, PacketId};
 use bband_sim::{SimDuration, SimTime};
+use bband_trace as trace;
 use std::collections::VecDeque;
 
 /// 24-bit packet sequence number, as InfiniBand PSNs.
@@ -119,6 +120,7 @@ impl RcSender {
         // ACK correctly pops nothing.)
         self.on_ack(psn.prev());
         self.naks += 1;
+        trace::instant(trace::Layer::Transport, "rc_nak", now, psn.0 as u64);
         self.retransmit_all(now)
     }
 
@@ -129,6 +131,12 @@ impl RcSender {
             Some(&(_, _, sent_at)) if now.saturating_since(sent_at) >= self.effective_timeout() => {
                 self.timeouts += 1;
                 self.front_retries += 1;
+                trace::instant(
+                    trace::Layer::Transport,
+                    "rc_timeout",
+                    now,
+                    self.front_retries as u64,
+                );
                 self.retransmit_all(now)
             }
             _ => Vec::new(),
@@ -145,6 +153,9 @@ impl RcSender {
             entry.2 = now;
         }
         self.retransmissions += out.len() as u64;
+        if !out.is_empty() {
+            trace::instant(trace::Layer::Transport, "go_back_n", now, out.len() as u64);
+        }
         out
     }
 

@@ -8,6 +8,7 @@
 
 use crate::packet::{NodeId, Packet};
 use bband_sim::{Jitter, Pcg64, SimDuration, SimTime};
+use bband_trace as trace;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -72,6 +73,7 @@ impl SwitchModel {
         }
         let serialize = self.per_byte * pkt.wire_bytes() as u64;
         self.egress_busy.insert(pkt.dst, start_tx + serialize);
+        trace::span(trace::Layer::Switch, "Switch", arrival, start_tx, pkt.id.0);
         start_tx.since(arrival)
     }
 

@@ -8,6 +8,7 @@ use bband_llp::Worker;
 use bband_nic::{Cluster, Cqe, CqeKind, Opcode};
 use bband_pcie::LinkTap;
 use bband_sim::SimTime;
+use bband_trace as trace;
 use std::collections::{HashMap, VecDeque};
 
 /// Identifies a UCP request (send or receive).
@@ -195,8 +196,10 @@ impl UcpWorker {
         tap: &mut dyn LinkTap,
     ) -> ReqId {
         // UCP's own send-path work (2.19 ns).
+        let t0 = self.uct.now();
         let d = self.costs.tag_send;
         self.uct.cpu_mut().advance(d);
+        trace::span(trace::Layer::Hlp, "HLP_post", t0, self.uct.now(), tag);
         let req = self.alloc_req();
         self.last_dst = Some(dst);
         if payload >= self.rndv_threshold {
@@ -373,8 +376,10 @@ impl UcpWorker {
         }
         // Deliver matches made at recv-post time first.
         while let Some(ev) = self.ready_events.pop_front() {
+            let t0 = self.uct.now();
             let d = self.costs.recv_callback;
             self.uct.cpu_mut().advance(d);
+            trace::span(trace::Layer::Hlp, "HLP_rx_prog", t0, self.uct.now(), 0);
             events.push(ev);
         }
         // Emit deferred protocol control messages (e.g. CTS for an RTS
@@ -472,8 +477,16 @@ impl UcpWorker {
                 {
                     // The UCP completion callback (139.78 ns), plus the
                     // unpack copy for bounced eager payloads.
+                    let t0 = self.uct.now();
                     let d = self.costs.recv_callback;
                     self.uct.cpu_mut().advance(d);
+                    trace::span(
+                        trace::Layer::Hlp,
+                        "HLP_rx_prog",
+                        t0,
+                        self.uct.now(),
+                        cqe.tag,
+                    );
                     let payload = match matched {
                         ArrivedMsg::Eager(c) => c.payload,
                         ArrivedMsg::Rts { .. } => unreachable!("eager arrival"),
@@ -551,8 +564,16 @@ impl UcpWorker {
                     .rndv_recv
                     .remove(&rndv_id)
                     .expect("FIN without a matched rendezvous receive");
+                let t0 = self.uct.now();
                 let d = self.costs.recv_callback;
                 self.uct.cpu_mut().advance(d);
+                trace::span(
+                    trace::Layer::Hlp,
+                    "HLP_rx_prog",
+                    t0,
+                    self.uct.now(),
+                    rndv_id as u64,
+                );
                 events.push(UcpEvent::RecvComplete {
                     req: st.user_req,
                     tag: st.tag,
@@ -623,8 +644,10 @@ impl UcpWorker {
             visible_at: bband_sim::SimTime::ZERO,
         };
         if let Some((req, matched, tag)) = self.matcher.arrive(tag, ArrivedMsg::Eager(pseudo)) {
+            let t0 = self.uct.now();
             let d = self.costs.recv_callback;
             self.uct.cpu_mut().advance(d);
+            trace::span(trace::Layer::Hlp, "HLP_rx_prog", t0, self.uct.now(), tag);
             let payload = match matched {
                 ArrivedMsg::Eager(c) => c.payload,
                 ArrivedMsg::Rts { .. } => unreachable!(),

@@ -6,6 +6,7 @@ use bband_nic::{Cluster, Cqe, CqeKind, Opcode, PostDescriptor, QpId, WrId};
 use bband_pcie::LinkTap;
 use bband_profiling::Profiler;
 use bband_sim::{CpuClock, Pcg64, SimDuration, SimTime};
+use bband_trace as trace;
 use std::collections::VecDeque;
 
 /// Why a post did not happen.
@@ -135,11 +136,19 @@ impl Worker {
         tag: u64,
         tap: &mut dyn LinkTap,
     ) -> Result<WrId, PostError> {
+        let t0 = self.cpu.now();
         if self.ring_occupancy >= self.ring_capacity {
             // Busy post: the quick occupancy check and bail-out.
             let d = self.sample(self.costs.busy_post);
             self.cpu.advance(d);
             self.busy_posts += 1;
+            trace::span(
+                trace::Layer::Llp,
+                "busy_post",
+                t0,
+                self.cpu.now(),
+                self.next_wr,
+            );
             return Err(PostError::Busy);
         }
         let wr_id = WrId(self.next_wr);
@@ -186,6 +195,7 @@ impl Worker {
         if !spike.is_zero() {
             self.cpu.advance(spike);
         }
+        trace::span(trace::Layer::Llp, "LLP_post", t0, self.cpu.now(), wr_id.0);
         // Hand to hardware at the CPU's current instant.
         cluster.post(self.cpu.now(), self.node, desc, tap);
         self.ring_occupancy += 1;
@@ -268,8 +278,16 @@ impl Worker {
     /// the load barrier), let hardware catch up to the CPU clock, and
     /// dequeue at most one CQ entry.
     pub fn progress(&mut self, cluster: &mut Cluster, tap: &mut dyn LinkTap) -> Option<Cqe> {
+        let t0 = self.cpu.now();
         let d = self.sample(self.costs.prog);
         self.cpu.advance(d);
+        trace::span(
+            trace::Layer::Llp,
+            "LLP_prog",
+            t0,
+            self.cpu.now(),
+            self.progress_calls,
+        );
         self.progress_calls += 1;
         cluster.advance_to(self.cpu.now(), tap);
         if let Some(stashed) = self.stashed.pop_front() {
@@ -305,8 +323,16 @@ impl Worker {
                 self.note_completion(&cqe);
                 if cqe.kind == kind {
                     // The successful poll that observed it.
+                    let t0 = self.cpu.now();
                     let d = self.sample(self.costs.prog);
                     self.cpu.advance(d);
+                    trace::span(
+                        trace::Layer::Llp,
+                        "LLP_prog",
+                        t0,
+                        self.cpu.now(),
+                        cqe.wr_id.0,
+                    );
                     self.progress_calls += 1;
                     return cqe;
                 }

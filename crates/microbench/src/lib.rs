@@ -25,7 +25,8 @@ pub mod ucp_lat;
 pub use am_lat::{am_lat, AmLatConfig, AmLatReport};
 pub use common::{set_seed_override, BenchClock, StackConfig};
 pub use multicore::{
-    credit_exhaustion_onset, multicore_injection, MulticoreConfig, MulticoreReport,
+    credit_exhaustion_onset, credit_exhaustion_onset_with, multicore_injection, MulticoreConfig,
+    MulticoreReport,
 };
 pub use osu::{
     osu_latency, osu_message_rate, OsuLatConfig, OsuLatReport, OsuMrConfig, OsuMrReport,

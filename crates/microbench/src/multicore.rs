@@ -24,6 +24,7 @@ use bband_fabric::{NetworkModel, NodeId};
 use bband_llp::Worker;
 use bband_nic::{Cluster, NicConfig, Opcode};
 use bband_pcie::NullTap;
+use bband_profiling::RecoveryCounters;
 use bband_sim::{SimDuration, WorkerPool};
 
 /// Configuration for the multi-core injection experiment.
@@ -36,6 +37,10 @@ pub struct MulticoreConfig {
     pub messages_per_core: u64,
     /// Per-core software ring depth.
     pub ring_depth: u32,
+    /// Posted-credit pool override as `(hdr, data, update_batch)` — the
+    /// `repro --faults` plan's `credits` block, threaded through here so
+    /// the exhaustion onset can be probed under starved pools.
+    pub credits: Option<(u32, u32, u32)>,
 }
 
 impl Default for MulticoreConfig {
@@ -45,6 +50,7 @@ impl Default for MulticoreConfig {
             cores: 4,
             messages_per_core: 1_000,
             ring_depth: 16,
+            credits: None,
         }
     }
 }
@@ -61,6 +67,8 @@ pub struct MulticoreReport {
     pub rc_stalled: bool,
     /// Total busy posts across cores.
     pub busy_posts: u64,
+    /// Cluster-level recovery counters (credit stall episodes).
+    pub counters: RecoveryCounters,
 }
 
 /// Run `cores` independent injectors against one node's RC + NIC.
@@ -73,6 +81,9 @@ pub fn multicore_injection(cfg: &MulticoreConfig) -> MulticoreReport {
     let mut cluster = Cluster::new(2, NetworkModel::paper_default(), nic_cfg, cfg.stack.seed);
     if cfg.stack.deterministic {
         cluster = cluster.deterministic();
+    }
+    if let Some((hdr, data, update_batch)) = cfg.credits {
+        cluster = cluster.with_credits(hdr, data, update_batch);
     }
     let mut tap = NullTap;
     let mut workers: Vec<Worker> = (0..cfg.cores)
@@ -124,6 +135,7 @@ pub fn multicore_injection(cfg: &MulticoreConfig) -> MulticoreReport {
         per_core_overhead: SimDuration::from_ns_f64(end.as_ns_f64() / cfg.messages_per_core as f64),
         rc_stalled: !cluster.rc_never_stalled(),
         busy_posts: workers.iter().map(|w| w.busy_posts).sum(),
+        counters: cluster.recovery_counters(),
     }
 }
 
@@ -132,12 +144,23 @@ pub fn multicore_injection(cfg: &MulticoreConfig) -> MulticoreReport {
 /// core index), so the sweep fans out across a [`WorkerPool`] with results
 /// identical to the serial loop it replaces.
 pub fn credit_exhaustion_onset(stack: &StackConfig, core_counts: &[u32]) -> Vec<(u32, bool)> {
+    credit_exhaustion_onset_with(stack, core_counts, None)
+}
+
+/// [`credit_exhaustion_onset`] under an optional posted-credit override —
+/// a starved pool pulls the onset down to fewer cores.
+pub fn credit_exhaustion_onset_with(
+    stack: &StackConfig,
+    core_counts: &[u32],
+    credits: Option<(u32, u32, u32)>,
+) -> Vec<(u32, bool)> {
     WorkerPool::new().map(core_counts.to_vec(), |_, cores| {
         let r = multicore_injection(&MulticoreConfig {
             stack: stack.clone(),
             cores,
             messages_per_core: 400,
             ring_depth: 16,
+            credits,
         });
         (cores, r.rc_stalled)
     })
@@ -153,6 +176,7 @@ mod tests {
             cores,
             messages_per_core: 500,
             ring_depth: 16,
+            credits: None,
         }
     }
 
@@ -199,5 +223,22 @@ mod tests {
         assert_eq!(onset[0], (1, false));
         assert_eq!(onset[1], (8, false));
         assert_eq!(onset[2], (128, true));
+    }
+
+    #[test]
+    fn starved_credit_override_pulls_the_onset_down() {
+        // A pool of 4 header credits replenished 2 at a time: 8 concurrent
+        // posters exhaust it, where the ConnectX-4-class default absorbs
+        // them without a stall.
+        let r = multicore_injection(&MulticoreConfig {
+            credits: Some((4, 64, 2)),
+            ..det(8)
+        });
+        assert!(r.rc_stalled, "starved pool must stall 8 cores");
+        assert!(r.counters.credit_stalls > 0);
+        assert!(!r.counters.is_clean());
+        // And the default remains clean at the same core count.
+        let clean = multicore_injection(&det(8));
+        assert!(clean.counters.is_clean());
     }
 }

@@ -27,6 +27,7 @@ use bband_pcie::{
     TlpPurpose,
 };
 use bband_sim::{EventQueue, Pcg64, SimTime};
+use bband_trace as trace;
 use std::collections::{HashMap, VecDeque};
 
 /// Path MTU: larger payloads are segmented by the NIC and pipelined onto
@@ -255,6 +256,29 @@ impl Cluster {
         self.nodes.iter().all(|n| n.rc.never_stalled())
     }
 
+    /// Override every node's posted-credit pools: the RC's downstream
+    /// issue pool and the NIC's receiver-side return bookkeeping. This is
+    /// how a `--faults` plan's `credits` block reaches the cluster-backed
+    /// experiments. Call right after construction (it resets RC state).
+    pub fn with_credits(mut self, hdr: u32, data: u32, update_batch: u32) -> Self {
+        for n in &mut self.nodes {
+            n.rc = RootComplex::with_flow_control(FlowControl::new(hdr, data, update_batch));
+            n.nic.fc_recv = FlowControl::new(hdr, data, update_batch);
+        }
+        self
+    }
+
+    /// Recovery activity visible at the cluster level. The hardware model
+    /// here is fault-free (no loss or corruption is injected below the
+    /// transport), so only credit stalls can engage; the other counters
+    /// stay zero and [`RecoveryCounters::is_clean`] holds iff no RC ever
+    /// parked an MMIO write.
+    pub fn recovery_counters(&self) -> bband_profiling::RecoveryCounters {
+        let mut k = bband_profiling::RecoveryCounters::new();
+        k.credit_stalls = self.nodes.iter().map(|n| n.rc.stalled_issues).sum();
+        k
+    }
+
     /// Hardware ring occupancy of a node's NIC.
     pub fn nic_occupancy(&self, node: NodeId) -> u32 {
         self.nodes[node.0 as usize].nic.occupancy
@@ -419,6 +443,13 @@ impl Cluster {
                 RcAction::SendTlp { depart, tlp } => {
                     let n = &mut self.nodes[node.0 as usize];
                     let lat = n.link.tlp_latency(&tlp, &mut n.link_rng);
+                    trace::span(
+                        trace::Layer::PcieTx,
+                        "pcie_down",
+                        depart,
+                        depart + lat,
+                        tlp.id.0,
+                    );
                     self.queue
                         .push(depart + lat, HwEvent::TlpAtNic { node, tlp });
                 }
@@ -442,6 +473,7 @@ impl Cluster {
         }
         let n = &mut self.nodes[node.0 as usize];
         let lat = n.link.tlp_latency(&tlp, &mut n.link_rng);
+        trace::span(trace::Layer::PcieRx, "pcie_up", now, now + lat, tlp.id.0);
         self.queue.push(now + lat, HwEvent::TlpAtRc { node, tlp });
     }
 
@@ -470,6 +502,7 @@ impl Cluster {
         );
         self.messages_injected += 1;
         let depart = now + self.nodes[node.0 as usize].nic.cfg.proc_delay;
+        trace::span(trace::Layer::Nic, "nic_tx", now, depart, desc.wr_id.0);
         let segments = desc.payload.div_ceil(MTU).max(1);
         // Per-segment pipeline spacing: the NIC can launch the next
         // segment once it is fetched and the previous one serialized.
@@ -499,6 +532,13 @@ impl Cluster {
             }
             let seg_depart = depart + spacing * i as u64;
             let lat = self.network.traverse(seg_depart, &pkt, &mut self.net_rng);
+            trace::span(
+                trace::Layer::Wire,
+                "net_flight",
+                seg_depart,
+                seg_depart + lat,
+                pkt_id.0,
+            );
             self.queue.push(
                 seg_depart + lat,
                 HwEvent::NetAtNic {
@@ -595,6 +635,7 @@ impl Cluster {
                 }
             },
             HwEvent::MemVisible { node, tlp } => {
+                trace::instant(trace::Layer::Memory, "mem_visible", at, tlp.id.0);
                 let n = &mut self.nodes[node.0 as usize];
                 match tlp.purpose {
                     TlpPurpose::CqeWrite => {

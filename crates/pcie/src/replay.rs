@@ -13,6 +13,7 @@
 
 use crate::tlp::Tlp;
 use bband_sim::Pcg64;
+use bband_trace as trace;
 use std::collections::VecDeque;
 
 /// A 12-bit data-link sequence number with wrap-around ordering,
@@ -104,6 +105,7 @@ impl ReplayBuffer {
         self.ack(from.prev());
         let replayed: Vec<(SeqNum, Tlp)> = self.unacked.iter().copied().collect();
         self.retransmissions += replayed.len() as u64;
+        trace::instant_now(trace::Layer::PcieDll, "dll_replay", replayed.len() as u64);
         replayed
     }
 
@@ -194,7 +196,12 @@ impl LossyLink {
 
     /// Does this traversal corrupt the TLP?
     pub fn corrupts(&mut self) -> bool {
-        self.corruption_probability > 0.0 && self.rng.next_bool(self.corruption_probability)
+        let hit =
+            self.corruption_probability > 0.0 && self.rng.next_bool(self.corruption_probability);
+        if hit {
+            trace::instant_now(trace::Layer::PcieDll, "lcrc_corrupt", 0);
+        }
+        hit
     }
 }
 

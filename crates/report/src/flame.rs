@@ -1,0 +1,106 @@
+//! Compact text flame view of a recorded trace: per-task, per-layer
+//! component sums with proportional bars — the terminal-friendly
+//! companion to the Chrome trace-format export.
+
+use bband_trace::{ComponentSum, Layer, Trace};
+
+const BAR_WIDTH: usize = 28;
+
+/// Render a merged trace as a compact flame view: one block per task,
+/// components grouped by layer track and scaled against the task's
+/// largest component. Instant events render as counts, not bars.
+pub fn render_flame(title: &str, trace: &Trace) -> String {
+    let mut out = format!(
+        "{title}\n  {} task(s), {} record(s), {} dropped\n",
+        trace.tasks().len(),
+        trace.len(),
+        trace.dropped()
+    );
+    for (idx, task) in trace.tasks().iter().enumerate() {
+        if task.spans.is_empty() {
+            continue;
+        }
+        let single = Trace::from_task(task.clone());
+        let mut sums = single.component_sums();
+        sums.sort_by_key(|c| c.layer.track());
+        let max_ns = sums
+            .iter()
+            .map(|c| c.total.as_ns_f64())
+            .fold(0.0_f64, f64::max);
+        out.push_str(&format!("  task {idx}\n"));
+        for c in &sums {
+            out.push_str(&render_component(c, max_ns));
+        }
+    }
+    out
+}
+
+fn render_component(c: &ComponentSum, max_ns: f64) -> String {
+    let ns = c.total.as_ns_f64();
+    if ns == 0.0 {
+        // Instant-only name (drops, stall markers): a count line.
+        return format!(
+            "    {:<12} {:<18} {:>7} event(s)\n",
+            layer_tag(c.layer),
+            c.name,
+            c.count
+        );
+    }
+    let width = if max_ns > 0.0 {
+        ((ns / max_ns) * BAR_WIDTH as f64).round().max(1.0) as usize
+    } else {
+        1
+    };
+    format!(
+        "    {:<12} {:<18} {:>12.2} ns  x{:<5} {}\n",
+        layer_tag(c.layer),
+        c.name,
+        ns,
+        c.count,
+        "#".repeat(width)
+    )
+}
+
+fn layer_tag(layer: Layer) -> String {
+    format!("[{}]", layer.label())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bband_core::tracepath::traced_e2e;
+    use bband_core::{Calibration, FaultPlan};
+
+    #[test]
+    fn flame_lists_all_nine_e2e_slices() {
+        let (res, trace) = traced_e2e(&Calibration::default(), &FaultPlan::none(), 8, 1);
+        res.unwrap();
+        let text = render_flame("zero-fault e2e", &trace);
+        for name in bband_core::tracepath::FIG13_SLICES {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("[wire]"), "{text}");
+        assert!(text.contains("0 dropped"), "{text}");
+    }
+
+    #[test]
+    fn faulted_flame_shows_recovery_events() {
+        let mut plan = FaultPlan::none();
+        plan.loss_probability = 0.05;
+        let (res, trace) = traced_e2e(&Calibration::default(), &plan, 200, 42);
+        res.unwrap();
+        let text = render_flame("lossy e2e", &trace);
+        assert!(text.contains("event(s)"), "{text}");
+        assert!(
+            text.contains("pkt_drop") || text.contains("rto_backoff"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_renders_header_only() {
+        let text = render_flame("empty", &Trace::default());
+        assert!(text.contains("0 task(s)"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

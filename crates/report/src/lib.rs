@@ -14,6 +14,7 @@
 pub mod bars;
 pub mod curves;
 pub mod export;
+pub mod flame;
 pub mod hist;
 pub mod loss;
 pub mod table;
@@ -21,6 +22,7 @@ pub mod table;
 pub use bars::render_bar;
 pub use curves::render_curves;
 pub use export::{breakdown_json, curves_json, distribution_json, to_json};
+pub use flame::render_flame;
 pub use hist::render_histogram;
 pub use loss::{loss_sweep_json, render_loss_sweep};
 pub use table::render_table1;

@@ -1,0 +1,186 @@
+//! Chrome trace-format export (the JSON Array/Object format consumed by
+//! `chrome://tracing` and Perfetto).
+//!
+//! Mapping: task index → `pid`, layer track → `tid`, timestamps in
+//! microseconds of *virtual* time (the format's unit; `displayTimeUnit`
+//! is set to ns so viewers show nanoseconds). Spans become complete
+//! (`ph: "X"`) events, instants become thread-scoped instant (`ph: "i"`)
+//! events, and metadata (`ph: "M"`) events name each task and layer
+//! track. Output order — metadata first, then records task-major in
+//! emission order — is a pure function of the merged trace, so serial and
+//! pooled runs render byte-identical JSON.
+
+use crate::{Layer, Trace};
+use serde::json::Value;
+
+const ALL_LAYERS: [Layer; 12] = [
+    Layer::Hlp,
+    Layer::Llp,
+    Layer::PcieTx,
+    Layer::PcieCredit,
+    Layer::PcieDll,
+    Layer::Nic,
+    Layer::Wire,
+    Layer::Switch,
+    Layer::Transport,
+    Layer::PcieRx,
+    Layer::Memory,
+    Layer::Recovery,
+];
+
+fn ps_to_us(ps: u64) -> f64 {
+    ps as f64 / 1e6
+}
+
+fn meta_event(name: &str, pid: usize, tid: Option<u8>, value: &str) -> Value {
+    let mut obj = vec![
+        ("name".into(), Value::Str(name.into())),
+        ("ph".into(), Value::Str("M".into())),
+        ("pid".into(), Value::UInt(pid as u64)),
+    ];
+    if let Some(tid) = tid {
+        obj.push(("tid".into(), Value::UInt(tid as u64)));
+    }
+    obj.push((
+        "args".into(),
+        Value::Obj(vec![("name".into(), Value::Str(value.into()))]),
+    ));
+    Value::Obj(obj)
+}
+
+/// Build the Chrome trace document as a JSON value tree.
+pub fn chrome_trace_value(trace: &Trace) -> Value {
+    let mut events: Vec<Value> = Vec::with_capacity(trace.len() + 16);
+    for (pid, task) in trace.tasks().iter().enumerate() {
+        events.push(meta_event("process_name", pid, None, &format!("task{pid}")));
+        // Name only the tracks this task actually used, in track order.
+        for layer in ALL_LAYERS {
+            if task.spans.iter().any(|s| s.layer == layer) {
+                events.push(meta_event(
+                    "thread_name",
+                    pid,
+                    Some(layer.track()),
+                    layer.label(),
+                ));
+            }
+        }
+    }
+    for (pid, s) in trace.spans() {
+        let mut obj = vec![
+            ("name".into(), Value::Str(s.name.into())),
+            ("cat".into(), Value::Str(s.layer.label().into())),
+            (
+                "ph".into(),
+                Value::Str(if s.is_instant() { "i" } else { "X" }.into()),
+            ),
+            ("ts".into(), Value::Float(ps_to_us(s.start.as_ps()))),
+        ];
+        if s.is_instant() {
+            obj.push(("s".into(), Value::Str("t".into())));
+        } else {
+            obj.push(("dur".into(), Value::Float(ps_to_us(s.dur.as_ps()))));
+        }
+        obj.push(("pid".into(), Value::UInt(pid as u64)));
+        obj.push(("tid".into(), Value::UInt(s.layer.track() as u64)));
+        obj.push((
+            "args".into(),
+            Value::Obj(vec![("arg".into(), Value::UInt(s.arg))]),
+        ));
+        events.push(Value::Obj(obj));
+    }
+    Value::Obj(vec![
+        ("displayTimeUnit".into(), Value::Str("ns".into())),
+        (
+            "otherData".into(),
+            Value::Obj(vec![
+                ("clock".into(), Value::Str("virtual".into())),
+                ("dropped".into(), Value::UInt(trace.dropped())),
+            ]),
+        ),
+        ("traceEvents".into(), Value::Arr(events)),
+    ])
+}
+
+/// Render the Chrome trace document as pretty-printed JSON.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    chrome_trace_value(trace).render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{collect, instant, span};
+    use bband_sim::SimTime;
+
+    fn sample_trace() -> Trace {
+        let (_, task) = collect(64, || {
+            span(
+                Layer::Llp,
+                "LLP_post",
+                SimTime::ZERO,
+                SimTime::from_ns(175),
+                0,
+            );
+            span(
+                Layer::Wire,
+                "Wire",
+                SimTime::from_ns(400),
+                SimTime::from_ns(675),
+                0,
+            );
+            instant(Layer::Transport, "nak", SimTime::from_ns(500), 3);
+        });
+        Trace::from_task(task)
+    }
+
+    /// The schema check the satellite task asks for: every event carries
+    /// the mandatory Chrome trace fields with the right types, and the
+    /// document parses back as JSON.
+    #[test]
+    fn export_satisfies_chrome_trace_schema() {
+        let json = chrome_trace_json(&sample_trace());
+        let doc = serde_json::from_str::<serde_json::Value>(&json).expect("export must be JSON");
+        assert_eq!(doc["displayTimeUnit"], "ns");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        assert!(!events.is_empty());
+        let mut saw = (false, false, false); // (X, i, M)
+        for ev in events {
+            let ph = ev["ph"].as_str().expect("ph is a string");
+            assert!(ev["name"].as_str().is_some(), "name missing: {ev}");
+            assert!(ev["pid"].as_u64().is_some(), "pid missing: {ev}");
+            match ph {
+                "X" => {
+                    saw.0 = true;
+                    assert!(ev["ts"].as_f64().is_some());
+                    assert!(ev["dur"].as_f64().expect("dur") >= 0.0);
+                    assert!(ev["cat"].as_str().is_some());
+                    assert!(ev["tid"].as_u64().is_some());
+                }
+                "i" => {
+                    saw.1 = true;
+                    assert!(ev["ts"].as_f64().is_some());
+                    assert_eq!(ev["s"], "t", "instants are thread-scoped");
+                }
+                "M" => {
+                    saw.2 = true;
+                    assert!(ev["args"]["name"].as_str().is_some());
+                }
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert!(saw.0 && saw.1 && saw.2, "all three phases present: {saw:?}");
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_of_virtual_time() {
+        let json = chrome_trace_json(&sample_trace());
+        let doc = serde_json::from_str::<serde_json::Value>(&json).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        let wire = events
+            .iter()
+            .find(|e| e["name"] == "Wire")
+            .expect("Wire span exported");
+        assert_eq!(wire["ts"].as_f64().unwrap(), 0.4);
+        assert_eq!(wire["dur"].as_f64().unwrap(), 0.275);
+    }
+}

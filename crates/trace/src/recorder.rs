@@ -1,0 +1,277 @@
+//! The per-task span recorder: thread-local sink, preallocated ring
+//! buffer, and the virtual "now" used by instrumentation sites that have
+//! no clock of their own.
+
+use bband_sim::{SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+
+/// Which layer of the stack emitted a record. Layers map to fixed display
+/// tracks (`tid` in the Chrome export) so every trace lays out the same
+/// way: software on top, then the TX I/O path, the network, the RX I/O
+/// path, and recovery activity at the bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// High-level protocol (UCP tag matching, rendezvous control).
+    Hlp,
+    /// Low-level protocol (UCT posting and progress).
+    Llp,
+    /// TX-side PCIe link (MMIO doorbell path).
+    PcieTx,
+    /// PCIe posted-credit flow control.
+    PcieCredit,
+    /// PCIe data-link layer (LCRC, ACK/NAK, replay).
+    PcieDll,
+    /// NIC processing.
+    Nic,
+    /// Fabric wire (serialization + FEC + propagation).
+    Wire,
+    /// Fabric switch traversal.
+    Switch,
+    /// Transport protocol (IB RC go-back-N).
+    Transport,
+    /// RX-side PCIe link (DMA delivery path).
+    PcieRx,
+    /// Memory system (RC-to-MEM visibility).
+    Memory,
+    /// Recovery activity: backoff gaps, replay windows, stalls.
+    Recovery,
+}
+
+impl Layer {
+    /// Short category label (the `cat` field of the Chrome export).
+    pub fn label(self) -> &'static str {
+        match self {
+            Layer::Hlp => "hlp",
+            Layer::Llp => "llp",
+            Layer::PcieTx => "pcie-tx",
+            Layer::PcieCredit => "pcie-credit",
+            Layer::PcieDll => "pcie-dll",
+            Layer::Nic => "nic",
+            Layer::Wire => "wire",
+            Layer::Switch => "switch",
+            Layer::Transport => "transport",
+            Layer::PcieRx => "pcie-rx",
+            Layer::Memory => "memory",
+            Layer::Recovery => "recovery",
+        }
+    }
+
+    /// Fixed display track (`tid`), top-down in stack order.
+    pub fn track(self) -> u8 {
+        match self {
+            Layer::Hlp => 0,
+            Layer::Llp => 1,
+            Layer::PcieTx => 2,
+            Layer::PcieCredit => 3,
+            Layer::PcieDll => 4,
+            Layer::Nic => 5,
+            Layer::Wire => 6,
+            Layer::Switch => 7,
+            Layer::Transport => 8,
+            Layer::PcieRx => 9,
+            Layer::Memory => 10,
+            Layer::Recovery => 11,
+        }
+    }
+}
+
+/// One recorded span or instant. `Copy`, name `&'static str`: recording
+/// never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span start (virtual clock).
+    pub start: SimTime,
+    /// Span length; instants carry [`SimDuration::ZERO`] and a set
+    /// `instant` flag (a genuine zero-length span stays a span).
+    pub dur: SimDuration,
+    /// Emitting layer.
+    pub layer: Layer,
+    /// Component name — the vocabulary of the breakdown figures
+    /// (`"LLP_post"`, `"Wire"`, …) or a recovery label (`"rto_backoff"`).
+    pub name: &'static str,
+    /// Free-form payload: message index, PSN, TLP id — whatever the
+    /// instrumentation site keys its work by.
+    pub arg: u64,
+    /// True for point events.
+    pub instant: bool,
+}
+
+impl SpanRecord {
+    /// True for point events.
+    pub fn is_instant(&self) -> bool {
+        self.instant
+    }
+
+    /// Span end.
+    pub fn end(&self) -> SimTime {
+        self.start + self.dur
+    }
+}
+
+/// The trace one [`collect`] scope produced: retained records oldest
+/// first, plus how many the ring overwrote.
+#[derive(Debug, Clone, Default)]
+pub struct TaskTrace {
+    /// Retained records in emission order (oldest surviving first).
+    pub spans: Vec<SpanRecord>,
+    /// Records overwritten by ring wrap-around.
+    pub dropped: u64,
+}
+
+/// Fixed-capacity ring: preallocated at [`collect`] time, overwrites the
+/// oldest record when full. Push is an index write — no allocation, no
+/// branch beyond the wrap check.
+struct Ring {
+    buf: Vec<SpanRecord>,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        Ring {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, rec: SpanRecord) {
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.buf.len();
+            self.dropped += 1;
+        }
+    }
+
+    fn into_task(mut self) -> TaskTrace {
+        self.buf.rotate_left(self.head);
+        TaskTrace {
+            spans: self.buf,
+            dropped: self.dropped,
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static NOW_PS: Cell<u64> = const { Cell::new(0) };
+    static SINK: RefCell<Vec<Ring>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Is a collector installed on this thread? The disabled fast path of
+/// every recording call is this read plus a branch.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Publish the driver's virtual clock for clock-less instrumentation
+/// sites ([`instant_now`]). No-op overhead pattern: guard with
+/// [`enabled`] at the call site when on a hot path.
+#[inline]
+pub fn set_now(t: SimTime) {
+    NOW_PS.with(|n| n.set(t.as_ps()));
+}
+
+/// The last published virtual time (zero at [`collect`] entry).
+#[inline]
+pub fn now() -> SimTime {
+    SimTime::from_ps(NOW_PS.with(|n| n.get()))
+}
+
+#[inline]
+fn record(rec: SpanRecord) {
+    SINK.with(|s| {
+        if let Some(ring) = s.borrow_mut().last_mut() {
+            ring.push(rec);
+        }
+    });
+}
+
+/// Record a span from `start` to `end`. No-op unless a collector is
+/// installed.
+#[inline]
+pub fn span(layer: Layer, name: &'static str, start: SimTime, end: SimTime, arg: u64) {
+    if !enabled() {
+        return;
+    }
+    record(SpanRecord {
+        start,
+        dur: end.since(start),
+        layer,
+        name,
+        arg,
+        instant: false,
+    });
+}
+
+/// Record a span of `dur` starting at `start`.
+#[inline]
+pub fn span_dur(layer: Layer, name: &'static str, start: SimTime, dur: SimDuration, arg: u64) {
+    if !enabled() {
+        return;
+    }
+    record(SpanRecord {
+        start,
+        dur,
+        layer,
+        name,
+        arg,
+        instant: false,
+    });
+}
+
+/// Record a point event at `at`.
+#[inline]
+pub fn instant(layer: Layer, name: &'static str, at: SimTime, arg: u64) {
+    if !enabled() {
+        return;
+    }
+    record(SpanRecord {
+        start: at,
+        dur: SimDuration::ZERO,
+        layer,
+        name,
+        arg,
+        instant: true,
+    });
+}
+
+/// Record a point event at the last [`set_now`] time — for sites (credit
+/// pools, link CRC checks) whose APIs carry no clock.
+#[inline]
+pub fn instant_now(layer: Layer, name: &'static str, arg: u64) {
+    if !enabled() {
+        return;
+    }
+    instant(layer, name, now(), arg);
+}
+
+/// Run `f` with a fresh collector of `capacity` records installed on this
+/// thread, returning its result and everything it recorded.
+///
+/// This is the unit of deterministic merging: wrap each
+/// [`bband_sim::WorkerPool`] task closure in `collect` and merge the
+/// returned [`TaskTrace`]s by task index — the result is independent of
+/// which thread ran which task. Scopes nest; the inner scope shadows the
+/// outer until it returns.
+pub fn collect<R>(capacity: usize, f: impl FnOnce() -> R) -> (R, TaskTrace) {
+    SINK.with(|s| s.borrow_mut().push(Ring::new(capacity)));
+    let prev_active = ACTIVE.with(|a| a.replace(true));
+    let prev_now = NOW_PS.with(|n| n.replace(0));
+    // On unwind the thread-local stack would leak one ring; tests that
+    // panic inside `collect` run on dying threads, so that is benign.
+    let out = f();
+    NOW_PS.with(|n| n.set(prev_now));
+    ACTIVE.with(|a| a.set(prev_active));
+    let ring = SINK
+        .with(|s| s.borrow_mut().pop())
+        .expect("collector stack underflow");
+    (out, ring.into_task())
+}

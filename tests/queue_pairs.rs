@@ -68,6 +68,7 @@ fn multicore_message_conservation() {
             cores,
             messages_per_core: 200,
             ring_depth: 8,
+            credits: None,
         });
         // Per-core overhead must stay at least the single-core cost: more
         // cores cannot make one core faster.
