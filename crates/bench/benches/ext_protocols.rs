@@ -48,6 +48,7 @@ fn bench(c: &mut Criterion) {
                 messages_per_core: 200,
                 ring_depth: 16,
                 credits: None,
+                stalls: None,
             }))
         })
     });

@@ -13,10 +13,15 @@
 //! repro --seed 7 fig7      # re-seed every stochastic experiment
 //! repro --faults plan.json loss  # inject a fault plan (loss sweep etc.)
 //! repro trace              # whole-stack traced run (flame view)
+//! repro trace --bench put_bw   # trace a live microbenchmark instead of
+//!                          # the fault engine (put_bw | am_lat | osu):
+//!                          # DAG critical path, exposed/hidden split,
+//!                          # and a zero-fault diff against the engine
 //! repro --faults plan.json trace --out trace.json
 //!                          # Chrome trace JSON (open in ui.perfetto.dev):
 //!                          # go-back-N replay windows and backoff gaps
-//!                          # appear on the recovery track
+//!                          # appear on the recovery track; stage edges
+//!                          # render as flow arrows
 //! ```
 //!
 //! Figures are independent simulations, so the harness fans them out
@@ -63,6 +68,7 @@ fn main() {
     let json_dir = flag_value("--json");
     let timing_path = flag_value("--timing-json");
     let trace_out = flag_value("--out");
+    let trace_bench = flag_value("--bench");
     if let Some(seed) = flag_value("--seed") {
         let seed: u64 = seed.parse().unwrap_or_else(|_| {
             eprintln!("--seed requires an unsigned integer");
@@ -83,7 +89,7 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--serial] [--seed N] [--faults PLAN.json] [--json DIR] [--timing-json PATH] [--out TRACE.json] <target>... | all"
+            "usage: repro [--quick] [--serial] [--seed N] [--faults PLAN.json] [--json DIR] [--timing-json PATH] [--out TRACE.json] [--bench put_bw|am_lat|osu] <target>... | all"
         );
         eprintln!("targets: {}", ALL_TARGETS.join(" "));
         std::process::exit(2);
@@ -103,6 +109,19 @@ fn main() {
         eprintln!("--out requires the trace target");
         std::process::exit(2);
     }
+    if let Some(b) = &trace_bench {
+        if !targets.contains(&"trace") {
+            eprintln!("--bench requires the trace target");
+            std::process::exit(2);
+        }
+        if !bband_bench::TRACE_BENCHES.contains(&b.as_str()) {
+            eprintln!(
+                "unknown --bench {b}; known: {}",
+                bband_bench::TRACE_BENCHES.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
 
     let pool = if serial {
         WorkerPool::with_threads(1)
@@ -115,8 +134,13 @@ fn main() {
     // which worker ran what.
     let results: Vec<(String, Option<String>, f64)> = pool.map(targets.clone(), |_, t| {
         let t0 = Instant::now();
-        let text = run_target(t, scale);
-        let artifact = json_dir.as_ref().and_then(|_| json_artifact(t, scale));
+        let text = match (t, &trace_bench) {
+            ("trace", Some(b)) => bband_bench::ext_trace_bench(b, scale),
+            _ => run_target(t, scale),
+        };
+        let artifact = json_dir
+            .as_ref()
+            .and_then(|_| json_artifact(t, scale, trace_bench.as_deref()));
         (text, artifact, t0.elapsed().as_secs_f64())
     });
     let total = started.elapsed().as_secs_f64();
@@ -133,7 +157,11 @@ fn main() {
     }
 
     if let Some(path) = &trace_out {
-        std::fs::write(path, bband_bench::trace_chrome_json()).expect("write trace json");
+        let json = match &trace_bench {
+            Some(b) => bband_bench::trace_bench_chrome_json(b, scale),
+            None => bband_bench::trace_chrome_json(),
+        };
+        std::fs::write(path, json).expect("write trace json");
         eprintln!("wrote {path}");
     }
 
@@ -175,7 +203,7 @@ fn main() {
 
 /// Machine-readable form of the analytical targets (those with a stable
 /// schema; trace/distribution targets export through the library API).
-fn json_artifact(target: &str, scale: Scale) -> Option<String> {
+fn json_artifact(target: &str, scale: Scale, trace_bench: Option<&str>) -> Option<String> {
     let c = Calibration::default();
     let w = WhatIf::new(c.clone());
     let panel = |comps: &[Component], latency: bool, title: &str| {
@@ -213,8 +241,12 @@ fn json_artifact(target: &str, scale: Scale) -> Option<String> {
             &bband_bench::loss_sweep(scale),
         )),
         // Fixed message count: the Chrome trace artifact is
-        // scale-independent (see `trace_chrome_json`).
-        "trace" => bband_bench::trace_chrome_json(),
+        // scale-independent (see `trace_chrome_json`). With --bench the
+        // artifact is the traced live microbenchmark instead.
+        "trace" => match trace_bench {
+            Some(b) => bband_bench::trace_bench_chrome_json(b, scale),
+            None => bband_bench::trace_chrome_json(),
+        },
         _ => return None,
     })
 }

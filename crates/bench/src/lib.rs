@@ -13,14 +13,16 @@ use bband_core::{
     OverallInjectionModel, ScalingModel, WhatIf,
 };
 use bband_microbench::{
-    am_lat, credit_exhaustion_onset_with, eager_rndv_sweep, put_bw, AmLatConfig, PutBwConfig,
-    StackConfig,
+    am_lat, credit_exhaustion_onset_with, eager_rndv_sweep, put_bw, traced_am_lat,
+    traced_osu_latency, traced_put_bw, AmLatConfig, OsuLatConfig, PutBwConfig, StackConfig,
 };
 use bband_mpi::{collective_scaling, Collective};
 use bband_report::{
-    render_bar, render_curves, render_flame, render_histogram, render_loss_sweep, render_table1,
+    render_bar, render_critical_path, render_curves, render_flame, render_histogram,
+    render_loss_sweep, render_table1,
 };
 use bband_sim::WorkerPool;
+use bband_trace::Trace;
 
 /// Experiment scale: quick (tests) or full (the harness default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -308,14 +310,23 @@ pub fn ext_crossover() -> String {
 }
 
 /// Multi-core credit-exhaustion onset (§4.2's excluded regime). A
-/// `--faults` plan's `credits` block overrides the posted-credit pools, so
-/// starved configurations show the onset moving to fewer cores.
+/// `--faults` plan's `credits` block overrides the posted-credit pools,
+/// and its `markov_stall` block parks the NICs in correlated stall
+/// windows, so faulted configurations show the onset moving to fewer
+/// cores.
 pub fn ext_multicore() -> String {
-    let credits = fault::active_plan()
-        .credits
-        .map(|c| (c.hdr, c.data, c.update_batch));
-    let onset =
-        credit_exhaustion_onset_with(&StackConfig::validation(), &[1, 4, 16, 64, 128], credits);
+    let plan = fault::active_plan();
+    let credits = plan.credits.map(|c| (c.hdr, c.data, c.update_batch));
+    let stalls = plan
+        .markov_stall
+        .filter(|m| !m.is_zero())
+        .map(|m| (m.mean_up_ns, m.mean_down_ns));
+    let onset = credit_exhaustion_onset_with(
+        &StackConfig::validation(),
+        &[1, 4, 16, 64, 128],
+        credits,
+        stalls,
+    );
     let mut out = String::from(
         "Multi-core injection: RC posted-credit exhaustion
 ",
@@ -323,6 +334,11 @@ pub fn ext_multicore() -> String {
     if let Some((h, d, b)) = credits {
         out.push_str(&format!(
             "  (credit override active: hdr={h} data={d} update_batch={b})\n"
+        ));
+    }
+    if let Some((up, down)) = stalls {
+        out.push_str(&format!(
+            "  (Markov stall process active: mean up {up} ns, mean down {down} ns)\n"
         ));
     }
     for (cores, stalled) in onset {
@@ -486,7 +502,38 @@ pub fn ext_trace(scale: Scale) -> String {
         &trace,
     );
     out.push('\n');
-    out.push_str(&render_bar(&tracepath::e2e_breakdown_from_trace(&trace)));
+    match tracepath::e2e_breakdown_from_trace(&trace) {
+        Ok(b) => out.push_str(&render_bar(&b)),
+        Err(e) => out.push_str(&format!("  ! {e}\n")),
+    }
+    out.push('\n');
+    match tracepath::reconstruct(&trace) {
+        Ok(cp) => {
+            out.push_str(&render_critical_path(
+                "DAG reconstruction (exposed vs hidden)",
+                &cp,
+            ));
+            if plan.is_zero() {
+                let model = EndToEndLatencyModel::from_calibration(&c).total();
+                let seq_exact = tracepath::slice_sum_total(&trace) == model * messages;
+                out.push_str(&format!(
+                    "  sequential slice sum vs model x {messages}: {}\n",
+                    if seq_exact { "bit-exact" } else { "MISMATCH" }
+                ));
+                // Zero-fault messages are independent chains, so the DAG
+                // critical path is exactly one message's model total.
+                out.push_str(&format!(
+                    "  DAG critical path vs one-message model: {}\n",
+                    if cp.length == model {
+                        "bit-exact"
+                    } else {
+                        "MISMATCH"
+                    }
+                ));
+            }
+        }
+        Err(e) => out.push_str(&format!("  ! {e}\n")),
+    }
     match res {
         Ok(stats) => out.push_str(&format!(
             "  completed {}/{}; recovery: {}\n",
@@ -496,12 +543,173 @@ pub fn ext_trace(scale: Scale) -> String {
         )),
         Err(e) => out.push_str(&format!("  ! {e}\n")),
     }
-    if plan.is_zero() {
-        let model = EndToEndLatencyModel::from_calibration(&c).total();
-        let exact = tracepath::critical_path_total(&trace) == model * messages;
+    out
+}
+
+/// Live microbenchmarks that can run under the tracer
+/// (`repro trace --bench <name>`).
+pub const TRACE_BENCHES: [&str; 3] = ["put_bw", "am_lat", "osu"];
+
+/// Run one traced live microbenchmark, returning a display label and the
+/// recorded trace. Deterministic (validation) stacks, so the trace — and
+/// therefore the Chrome export — is byte-stable run to run.
+fn run_traced_bench(which: &str, scale: Scale) -> (String, Trace) {
+    match which {
+        "put_bw" => {
+            let messages = match scale {
+                Scale::Quick => 1_500,
+                Scale::Full => 8_000,
+            };
+            let cfg = PutBwConfig {
+                stack: StackConfig::validation(),
+                messages,
+                warmup: 256,
+                buffer_samples: false,
+                ..Default::default()
+            };
+            let (_, trace) = traced_put_bw(&cfg);
+            (format!("put_bw ({messages} msgs, deterministic)"), trace)
+        }
+        "am_lat" => {
+            let iterations = match scale {
+                Scale::Quick => 200,
+                Scale::Full => 1_000,
+            };
+            let cfg = AmLatConfig {
+                stack: StackConfig::validation(),
+                iterations,
+                warmup: 16,
+                buffer_samples: false,
+            };
+            let (_, trace) = traced_am_lat(&cfg);
+            (format!("am_lat ({iterations} iters, deterministic)"), trace)
+        }
+        "osu" => {
+            let iterations = match scale {
+                Scale::Quick => 150,
+                Scale::Full => 1_000,
+            };
+            let cfg = OsuLatConfig {
+                stack: StackConfig::validation(),
+                iterations,
+                warmup: 16,
+                buffer_samples: false,
+            };
+            let (_, trace) = traced_osu_latency(&cfg);
+            (
+                format!("osu_latency ({iterations} iters, deterministic)"),
+                trace,
+            )
+        }
+        other => panic!("unknown trace bench {other}; known: {TRACE_BENCHES:?}"),
+    }
+}
+
+/// Extension: a live microbenchmark under the tracer, reconstructed by
+/// the same DAG pipeline the fault engine's traces flow through. For
+/// `put_bw` the critical path is strictly shorter than the stage sum —
+/// the hardware chain hides behind the serial CPU spine — and the
+/// per-stage exposed/hidden split quantifies exactly what pipelining
+/// buys. The zero-fault diff at the end cross-checks the live stack's
+/// shared stages against the model-faithful fault engine.
+pub fn ext_trace_bench(which: &str, scale: Scale) -> String {
+    let (label, trace) = run_traced_bench(which, scale);
+    let mut out = render_flame(&format!("Traced live microbenchmark: {label}"), &trace);
+    out.push('\n');
+    match tracepath::reconstruct(&trace) {
+        Ok(cp) => {
+            out.push_str(&render_critical_path(
+                "DAG reconstruction (exposed vs hidden)",
+                &cp,
+            ));
+            let ratio = if cp.stage_sum.as_ns_f64() > 0.0 {
+                cp.length.as_ns_f64() / cp.stage_sum.as_ns_f64()
+            } else {
+                1.0
+            };
+            out.push_str(&format!(
+                "  overlap: critical path is {:.1}% of the stage sum ({} hidden)\n",
+                ratio * 100.0,
+                cp.hidden_total()
+            ));
+        }
+        Err(e) => out.push_str(&format!("  ! {e}\n")),
+    }
+    if fault::active_plan().is_zero() {
+        out.push('\n');
+        out.push_str(&trace_diff(&trace));
+    }
+    out
+}
+
+/// Stage names with identical semantics in the live cluster and the
+/// fault engine — the comparable subset [`trace_diff`] checks. HLP spans
+/// are excluded deliberately: the engine charges the paper's aggregate
+/// HLP slices while the live MPI/UCP stack records its own finer-grained
+/// sub-steps under the same names, so their per-span means measure
+/// different things.
+const DIFF_STAGES: [&str; 6] = [
+    "LLP_post",
+    "LLP_prog",
+    "TX PCIe",
+    "RX PCIe",
+    "Switch",
+    "ack_flight",
+];
+
+/// Diff a live traced run against the model-faithful fault engine on the
+/// zero-fault path: for every [`DIFF_STAGES`] name both pipelines emit,
+/// compare the mean per-span duration. The two implementations share
+/// nothing but the calibration, so agreement here means the live
+/// cluster's per-stage charges really are the model's slices.
+pub fn trace_diff(live: &Trace) -> String {
+    let c = Calibration::default();
+    let (res, reference) = tracepath::traced_e2e(
+        &c,
+        &fault::FaultPlan::none(),
+        64,
+        StackConfig::default().seed,
+    );
+    debug_assert!(res.is_ok());
+    let live_sums = live.component_sums();
+    let ref_sums = reference.component_sums();
+    let mut out = String::from("trace-diff vs fault engine (zero-fault path, shared stages):\n");
+    let mut worst = 0.0_f64;
+    let mut shared = 0u32;
+    for l in &live_sums {
+        if !DIFF_STAGES.contains(&l.name) {
+            continue;
+        }
+        let Some(r) = ref_sums.iter().find(|r| r.name == l.name) else {
+            continue;
+        };
+        if l.count == 0 || r.count == 0 {
+            continue;
+        }
+        let lm = l.total.as_ns_f64() / l.count as f64;
+        let rm = r.total.as_ns_f64() / r.count as f64;
+        if rm == 0.0 {
+            continue;
+        }
+        let err = (lm - rm).abs() / rm;
+        worst = worst.max(err);
+        shared += 1;
         out.push_str(&format!(
-            "  critical path vs analytical model: {}\n",
-            if exact { "bit-exact" } else { "MISMATCH" }
+            "  {:<18} live {lm:>9.2} ns  engine {rm:>9.2} ns  ({:+.2}%)\n",
+            l.name,
+            (lm - rm) / rm * 100.0
+        ));
+    }
+    if shared == 0 {
+        out.push_str("  trace-diff: MISMATCH (no shared stages)\n");
+    } else if worst < 0.05 {
+        out.push_str(&format!(
+            "  trace-diff: OK ({shared} shared stages within 5%)\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "  trace-diff: MISMATCH (worst error {:.1}%)\n",
+            worst * 100.0
         ));
     }
     out
@@ -519,6 +727,14 @@ pub fn trace_chrome_json() -> String {
         StackConfig::default().seed,
     );
     trace.to_chrome_json()
+}
+
+/// Chrome trace-format JSON of a traced live microbenchmark
+/// (`repro trace --bench <which> --out trace.json`). Stage edges export
+/// as flow arrows, so Perfetto draws the hardware chain threading
+/// through the CPU spine.
+pub fn trace_bench_chrome_json(which: &str, scale: Scale) -> String {
+    run_traced_bench(which, scale).1.to_chrome_json()
 }
 
 /// Every figure id the harness knows.
@@ -621,5 +837,45 @@ mod tests {
     fn validation_quick_passes() {
         let v = validation(Scale::Quick);
         assert!(!v.contains("FAIL"), "{v}");
+    }
+
+    #[test]
+    fn zero_fault_trace_target_is_bit_exact() {
+        let out = ext_trace(Scale::Quick);
+        assert!(out.contains("sequential slice sum vs model"), "{out}");
+        assert!(
+            out.contains("DAG critical path vs one-message model"),
+            "{out}"
+        );
+        assert!(!out.contains("MISMATCH"), "{out}");
+    }
+
+    #[test]
+    fn traced_put_bw_diffs_clean_against_the_fault_engine() {
+        let out = ext_trace_bench("put_bw", Scale::Quick);
+        assert!(out.contains("critical path"), "{out}");
+        assert!(out.contains("hidden"), "{out}");
+        assert!(out.contains("trace-diff: OK"), "{out}");
+    }
+
+    #[test]
+    fn every_trace_bench_renders() {
+        for b in TRACE_BENCHES {
+            let out = ext_trace_bench(b, Scale::Quick);
+            assert!(!out.trim().is_empty(), "bench {b} rendered nothing");
+            assert!(!out.contains("trace-diff: MISMATCH"), "bench {b}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn trace_bench_chrome_json_is_deterministic_and_has_flows() {
+        let a = trace_bench_chrome_json("put_bw", Scale::Quick);
+        let b = trace_bench_chrome_json("put_bw", Scale::Quick);
+        assert_eq!(a, b);
+        assert!(
+            a.contains("\"ph\": \"s\""),
+            "stage edges must export as flows"
+        );
+        assert!(a.contains("\"ph\": \"f\""));
     }
 }

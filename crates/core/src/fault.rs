@@ -42,7 +42,7 @@ use bband_pcie::{
     DllReceiver, FlowControl, LossyLink, ReplayBuffer, RxVerdict, SeqNum, Tlp, TlpIdGen,
 };
 use bband_profiling::RecoveryCounters;
-use bband_sim::{EventQueue, Pcg64, SimDuration, SimTime, WorkerPool};
+use bband_sim::{EventQueue, Pcg64, SimDuration, SimTime, StallSchedule, WorkerPool};
 use bband_trace as trace;
 use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
@@ -176,6 +176,41 @@ pub struct StallWindow {
     pub duration_ns: u64,
 }
 
+/// Markov-modulated NIC stalls: the temporal analogue of
+/// [`GilbertElliott`] burst loss. Instead of hand-placed absolute
+/// [`StallWindow`]s, the NIC alternates between an up (serving) and a down
+/// (stalled) state with exponentially distributed dwell times — a NIC that
+/// falls behind goes dark for a correlated burst, not for one operation.
+/// Realised as a [`bband_sim::StallSchedule`] seeded from the run seed, so
+/// pooled and serial runs see identical schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MarkovStall {
+    /// Mean serving dwell between stalls, nanoseconds (exponential).
+    pub mean_up_ns: f64,
+    /// Mean stall dwell, nanoseconds (exponential). Zero disables the
+    /// process entirely (no randomness drawn).
+    pub mean_down_ns: f64,
+}
+
+impl MarkovStall {
+    /// True when the process can never stall.
+    pub fn is_zero(&self) -> bool {
+        self.mean_down_ns <= 0.0
+    }
+}
+
+impl Deserialize for MarkovStall {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        if v.as_object().is_none() {
+            return Err(JsonError::msg("MarkovStall: expected a JSON object"));
+        }
+        Ok(MarkovStall {
+            mean_up_ns: opt_field(v, "mean_up_ns")?.unwrap_or(10_000.0),
+            mean_down_ns: opt_field(v, "mean_down_ns")?.unwrap_or(0.0),
+        })
+    }
+}
+
 /// A serializable description of every fault the recovery simulation can
 /// inject. `FaultPlan::none()` is the calibrated fast path.
 ///
@@ -195,6 +230,9 @@ pub struct FaultPlan {
     pub credits: Option<CreditConfig>,
     /// Injected NIC transmit-stall windows.
     pub nic_stalls: Vec<StallWindow>,
+    /// Markov-modulated (correlated) NIC stalls layered on top of the
+    /// absolute windows.
+    pub markov_stall: Option<MarkovStall>,
     /// Retransmission-timer policy.
     pub retry: RetryPolicy,
 }
@@ -208,6 +246,7 @@ impl FaultPlan {
             corruption_probability: 0.0,
             credits: None,
             nic_stalls: Vec::new(),
+            markov_stall: None,
             retry: RetryPolicy::default(),
         }
     }
@@ -220,6 +259,7 @@ impl FaultPlan {
             && self.corruption_probability == 0.0
             && self.credits.is_none()
             && self.nic_stalls.is_empty()
+            && self.markov_stall.is_none_or(|m| m.is_zero())
     }
 
     /// Parse a plan from JSON; omitted fields default to fault-free.
@@ -255,6 +295,7 @@ impl Deserialize for FaultPlan {
                 .unwrap_or(d.corruption_probability),
             credits: opt_field(v, "credits")?,
             nic_stalls: opt_field(v, "nic_stalls")?.unwrap_or_default(),
+            markov_stall: opt_field(v, "markov_stall")?,
             retry: opt_field(v, "retry")?.unwrap_or(d.retry),
         })
     }
@@ -342,12 +383,19 @@ pub struct LossPoint {
 /// fault-free through one lost packet per hundred.
 pub const DEFAULT_LOSS_GRID: [f64; 6] = [0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2];
 
-/// Events driving the recovery simulation.
+/// Events driving the recovery simulation. Data-path events carry the
+/// [`trace::SpanId`] of the stage that scheduled them, so the target-side
+/// stages can declare their happens-after edges; the id is
+/// [`trace::SpanId::NONE`] (and costs nothing) on untraced runs.
 enum Ev {
     /// The initiator CPU starts posting message `msg`.
     Post { msg: u64 },
     /// A transport packet arrives at the target NIC.
-    PktArrive { msg: u64, psn: Psn },
+    PktArrive {
+        msg: u64,
+        psn: Psn,
+        dep: trace::SpanId,
+    },
     /// A transport ACK arrives back at the initiator NIC.
     AckArrive { psn: Psn },
     /// A transport NAK arrives back at the initiator NIC.
@@ -389,6 +437,8 @@ struct Traversal {
     /// UpdateFC grant emitted by this delivery (header, data credits); the
     /// caller stamps its return time, since the NIC may be stalled.
     grant: Option<(u32, u32)>,
+    /// Stage id of the successful delivery leg, for downstream edges.
+    span: trace::SpanId,
 }
 
 impl PcieChannel {
@@ -427,8 +477,17 @@ impl PcieChannel {
 
     /// Carry `tlp` across the link starting at `now`; returns its delivery
     /// time, charging corruption replays (one extra round trip each) and
-    /// replay-buffer stalls to the clock and to `k`.
-    fn traverse(&mut self, now: SimTime, tlp: Tlp, k: &mut RecoveryCounters) -> Traversal {
+    /// replay-buffer stalls to the clock and to `k`. The successful leg is
+    /// recorded as a stage happening after `dep` (recovery legs chain in
+    /// between), and its id rides out in [`Traversal::span`].
+    fn traverse(
+        &mut self,
+        now: SimTime,
+        tlp: Tlp,
+        k: &mut RecoveryCounters,
+        dep: trace::SpanId,
+    ) -> Traversal {
+        let mut link_dep = dep;
         let mut depart = now.max_of(self.clock);
         self.reap_acks(depart);
         let seq = loop {
@@ -442,12 +501,13 @@ impl PcieChannel {
                         .map(|&(_, due)| due)
                         .expect("replay buffer full implies an ACK in flight");
                     k.recovery_time += due.since(depart);
-                    trace::span(
+                    link_dep = trace::stage(
                         trace::Layer::Recovery,
                         "replay_stall",
                         depart,
                         due,
                         tlp.id.0,
+                        &[link_dep],
                     );
                     depart = due;
                     self.reap_acks(depart);
@@ -462,22 +522,31 @@ impl PcieChannel {
                         .push_back((ack_up_to, arrival + self.pcie));
                     let grant = self.fc_recv.as_mut().and_then(|fc| fc.drain(&tlp));
                     self.clock = arrival;
-                    trace::span(self.layer, self.span_name, depart, arrival, tlp.id.0);
+                    let span = trace::stage(
+                        self.layer,
+                        self.span_name,
+                        depart,
+                        arrival,
+                        tlp.id.0,
+                        &[link_dep],
+                    );
                     return Traversal {
                         delivered: arrival,
                         grant,
+                        span,
                     };
                 }
                 RxVerdict::Nack { expected } => {
                     // NACK DLLP returns (+pcie); the replay departs then.
                     let replayed = self.buf.nack(expected);
                     debug_assert_eq!(replayed.len(), 1, "serialized link replays one TLP");
-                    trace::span_dur(
+                    link_dep = trace::stage_dur(
                         trace::Layer::Recovery,
                         "dll_replay_rt",
                         depart,
                         self.pcie * 2,
                         seq.0 as u64,
+                        &[link_dep],
                     );
                     depart = arrival + self.pcie;
                     k.recovery_time += self.pcie * 2;
@@ -515,10 +584,16 @@ struct FaultSim {
     rc_rx: RcReceiver,
     fabric: LossyFabric,
     burst: Option<GeChannel>,
-    /// Messages blocked on credits: (msg, time the MMIO was ready).
-    credit_waiters: VecDeque<(u64, Tlp, SimTime)>,
+    /// Markov-modulated stall schedule, present iff the plan asks for it.
+    stall_sched: Option<StallSchedule>,
+    /// Messages blocked on credits: (msg, time the MMIO was ready, the
+    /// stage the eventual transmit happens after).
+    credit_waiters: VecDeque<(u64, Tlp, SimTime, trace::SpanId)>,
     /// When the target CPU is next free to reap a completion.
     target_cpu_free: SimTime,
+    /// Stage that last occupied the target CPU (`HLP_rx_prog` of the
+    /// previous reap) — the second predecessor of a `reap_wait` stage.
+    target_cpu_span: trace::SpanId,
     // Measurement.
     post_time: Vec<SimTime>,
     completed: u64,
@@ -593,8 +668,13 @@ impl FaultSim {
             rc_rx: RcReceiver::new(),
             fabric: LossyFabric::new(plan.loss_probability, seed),
             burst: plan.burst_loss.map(|g| GeChannel::new(g, seed)),
+            stall_sched: plan
+                .markov_stall
+                .filter(|m| !m.is_zero())
+                .map(|m| StallSchedule::new(m.mean_up_ns, m.mean_down_ns, seed ^ 0x57A11)),
             credit_waiters: VecDeque::new(),
             target_cpu_free: SimTime::ZERO,
+            target_cpu_span: trace::SpanId::NONE,
             post_time,
             completed: 0,
             lat_sum_ns: 0.0,
@@ -617,8 +697,15 @@ impl FaultSim {
         self.wire + self.switch
     }
 
-    /// Defer a fabric departure out of any injected NIC stall window.
-    fn defer_nic_stall(&mut self, mut t: SimTime) -> SimTime {
+    /// Defer a fabric departure out of any injected NIC stall window —
+    /// absolute [`StallWindow`]s and the Markov-modulated schedule alike.
+    /// Each stall emits a recovery stage chained after `dep`; returns the
+    /// deferred time and the last stage emitted (for downstream edges).
+    fn defer_nic_stall(
+        &mut self,
+        mut t: SimTime,
+        mut dep: trace::SpanId,
+    ) -> (SimTime, trace::SpanId) {
         loop {
             let mut deferred = false;
             for w in &self.plan.nic_stalls {
@@ -627,13 +714,23 @@ impl FaultSim {
                 if t >= start && t < end {
                     self.counters.nic_stalls += 1;
                     self.counters.recovery_time += end.since(t);
-                    trace::span(trace::Layer::Recovery, "nic_stall", t, end, 0);
+                    dep = trace::stage(trace::Layer::Recovery, "nic_stall", t, end, 0, &[dep]);
                     t = end;
                     deferred = true;
                 }
             }
+            if let Some(sched) = self.stall_sched.as_mut() {
+                let (when, window) = sched.defer_with_window(t);
+                if window.is_some() {
+                    self.counters.nic_stalls += 1;
+                    self.counters.recovery_time += when.since(t);
+                    dep = trace::stage(trace::Layer::Recovery, "nic_stall", t, when, 1, &[dep]);
+                    t = when;
+                    deferred = true;
+                }
+            }
             if !deferred {
-                return t;
+                return (t, dep);
             }
         }
     }
@@ -646,17 +743,18 @@ impl FaultSim {
     }
 
     /// Put one packet (first transmission or retransmission) on the
-    /// fabric, departing the NIC at `t`.
-    fn launch(&mut self, msg: u64, psn: Psn, pkt: &Packet, t: SimTime) {
-        let depart = self.defer_nic_stall(t);
+    /// fabric, departing the NIC at `t`, as a stage chain hanging off
+    /// `dep`.
+    fn launch(&mut self, msg: u64, psn: Psn, pkt: &Packet, t: SimTime, dep: trace::SpanId) {
+        let (depart, dep) = self.defer_nic_stall(t, dep);
         if !self.fabric_drops(pkt) {
             // The fabric leg decomposes into the Figure-13 wire and switch
             // slices; wire + switch is the old combined `net` charge.
             let at_switch = depart + self.wire;
             let arrive = at_switch + self.switch;
-            trace::span(trace::Layer::Wire, "Wire", depart, at_switch, msg);
-            trace::span(trace::Layer::Switch, "Switch", at_switch, arrive, msg);
-            self.queue.push(arrive, Ev::PktArrive { msg, psn });
+            let w = trace::stage(trace::Layer::Wire, "Wire", depart, at_switch, msg, &[dep]);
+            let s = trace::stage(trace::Layer::Switch, "Switch", at_switch, arrive, msg, &[w]);
+            self.queue.push(arrive, Ev::PktArrive { msg, psn, dep: s });
         } else {
             trace::instant(trace::Layer::Recovery, "pkt_drop", depart, msg);
         }
@@ -682,12 +780,12 @@ impl FaultSim {
 
     /// The MMIO write for `msg` has credits: cross the TX link, enter the
     /// transport, and launch onto the fabric.
-    fn transmit(&mut self, msg: u64, tlp: Tlp, t: SimTime) {
-        let out = self.tx_chan.traverse(t, tlp, &mut self.counters);
+    fn transmit(&mut self, msg: u64, tlp: Tlp, t: SimTime, dep: trace::SpanId) {
+        let out = self.tx_chan.traverse(t, tlp, &mut self.counters, dep);
         // The NIC both sinks the doorbell TLP and feeds the fabric: an
         // injected stall window freezes it whole, deferring the drain
         // (hence the UpdateFC grant) and the packet departure alike.
-        let nic_time = self.defer_nic_stall(out.delivered);
+        let (nic_time, dep) = self.defer_nic_stall(out.delivered, out.span);
         if let Some((h, d)) = out.grant {
             let pcie = self.tx_chan.pcie;
             self.queue
@@ -695,53 +793,71 @@ impl FaultSim {
         }
         let pkt = Packet::message(PacketId(msg), PacketKind::Send, NodeId(0), NodeId(1), 8);
         let psn = self.rc_tx.send(pkt, nic_time);
-        self.launch(msg, psn, &pkt, nic_time);
+        self.launch(msg, psn, &pkt, nic_time, dep);
         self.arm_timer(nic_time);
     }
 
     /// The initiator CPU posts message `msg` at `t`: CPU work, then the
-    /// credit gate, then [`FaultSim::transmit`].
+    /// credit gate, then [`FaultSim::transmit`]. Each message roots its
+    /// own stage chain — inter-message spacing is wall-clock scheduling,
+    /// not a dependency, so on the zero-fault path the per-message chains
+    /// stay disconnected and the DAG critical path is exactly one
+    /// message's nine slices.
     fn post(&mut self, msg: u64, t: SimTime) {
         let hlp_done = t + self.hlp_post;
         let ready = hlp_done + self.llp_post;
-        trace::span(trace::Layer::Hlp, "HLP_post", t, hlp_done, msg);
-        trace::span(trace::Layer::Llp, "LLP_post", hlp_done, ready, msg);
+        let h = trace::stage(trace::Layer::Hlp, "HLP_post", t, hlp_done, msg, &[]);
+        let l = trace::stage(trace::Layer::Llp, "LLP_post", hlp_done, ready, msg, &[h]);
         let tlp = Tlp::pio_chunk(self.ids.next());
         if !self.credit_waiters.is_empty() || self.fc_issue.consume(&tlp).is_err() {
-            self.credit_waiters.push_back((msg, tlp, ready));
+            self.credit_waiters.push_back((msg, tlp, ready, l));
             return;
         }
-        self.transmit(msg, tlp, ready);
+        self.transmit(msg, tlp, ready, l);
     }
 
     /// An in-sequence packet reached the target NIC at `t`: RX PCIe leg,
     /// DMA to memory, and the target CPU reaps the completion.
-    fn deliver(&mut self, msg: u64, t: SimTime) {
+    fn deliver(&mut self, msg: u64, t: SimTime, dep: trace::SpanId) {
         let tlp = Tlp::payload_deliver(self.ids.next(), 8);
-        let out = self.rx_chan.traverse(t, tlp, &mut self.counters);
+        let out = self.rx_chan.traverse(t, tlp, &mut self.counters, dep);
         let in_memory = out.delivered + self.rc_to_mem;
-        trace::span(
+        let mem = trace::stage(
             trace::Layer::Memory,
             "RC-to-MEM(8B)",
             out.delivered,
             in_memory,
             msg,
+            &[out.span],
         );
         let reap_start = self.target_cpu_free.max_of(in_memory);
-        if reap_start > in_memory {
-            // The target CPU was still reaping an earlier message.
-            trace::span(
+        let cpu_dep = if reap_start > in_memory {
+            // The target CPU was still reaping an earlier message: the
+            // wait joins the DMA completion with the previous reap — the
+            // one point where inter-message edges exist on this path.
+            trace::stage(
                 trace::Layer::Recovery,
                 "reap_wait",
                 in_memory,
                 reap_start,
                 msg,
-            );
-        }
+                &[mem, self.target_cpu_span],
+            )
+        } else {
+            mem
+        };
         let llp_done = reap_start + self.llp_prog;
         let done = llp_done + self.hlp_rx_prog;
-        trace::span(trace::Layer::Llp, "LLP_prog", reap_start, llp_done, msg);
-        trace::span(trace::Layer::Hlp, "HLP_rx_prog", llp_done, done, msg);
+        let lp = trace::stage(
+            trace::Layer::Llp,
+            "LLP_prog",
+            reap_start,
+            llp_done,
+            msg,
+            &[cpu_dep],
+        );
+        self.target_cpu_span =
+            trace::stage(trace::Layer::Hlp, "HLP_rx_prog", llp_done, done, msg, &[lp]);
         self.target_cpu_free = done;
         let latency = done.since(self.post_time[msg as usize]).as_ns_f64();
         self.completed += 1;
@@ -750,11 +866,12 @@ impl FaultSim {
         self.lat_max_ns = self.lat_max_ns.max(latency);
     }
 
-    /// Go-back-N resends from a NAK or timer round.
-    fn relaunch(&mut self, resends: Vec<(Psn, Packet)>, now: SimTime) {
+    /// Go-back-N resends from a NAK or timer round. `dep` is the recovery
+    /// stage (backoff gap) that triggered the round, if one was recorded.
+    fn relaunch(&mut self, resends: Vec<(Psn, Packet)>, now: SimTime, dep: trace::SpanId) {
         for (psn, pkt) in resends {
             let msg = pkt.id.0;
-            self.launch(msg, psn, &pkt, now);
+            self.launch(msg, psn, &pkt, now, dep);
         }
         self.arm_timer(now);
     }
@@ -772,9 +889,9 @@ impl FaultSim {
             }
             match ev {
                 Ev::Post { msg } => self.post(msg, t),
-                Ev::PktArrive { msg, psn } => match self.rc_rx.on_packet(psn) {
+                Ev::PktArrive { msg, psn, dep } => match self.rc_rx.on_packet(psn) {
                     RcVerdict::Deliver { ack } => {
-                        self.deliver(msg, t);
+                        self.deliver(msg, t, dep);
                         self.launch_ctrl(t, "ack_flight", Ev::AckArrive { psn: ack });
                     }
                     RcVerdict::Nak { expected } => {
@@ -793,7 +910,7 @@ impl FaultSim {
                     // fault-free path.
                     self.counters.recovery_time += self.net() * 2;
                     let resends = self.rc_tx.on_nak(psn, t);
-                    self.relaunch(resends, t);
+                    self.relaunch(resends, t, trace::SpanId::NONE);
                 }
                 Ev::Timer => match self.rc_tx.next_deadline() {
                     Some(deadline) if deadline <= t => {
@@ -801,12 +918,13 @@ impl FaultSim {
                         self.counters.recovery_time += backoff;
                         // The backoff gap the oldest packet waited out,
                         // ending at the timer firing.
-                        trace::span(
+                        let gap = trace::stage(
                             trace::Layer::Recovery,
                             "rto_backoff",
                             t - backoff,
                             t,
                             self.rc_tx.front_retries() as u64 + 1,
+                            &[],
                         );
                         let resends = self.rc_tx.on_timer(t);
                         if self.rc_tx.front_retries() > self.plan.retry.max_retries {
@@ -822,7 +940,7 @@ impl FaultSim {
                             });
                             break;
                         }
-                        self.relaunch(resends, t);
+                        self.relaunch(resends, t, gap);
                     }
                     // Stale or early firing: nothing due. `arm_timer` is
                     // re-invoked on every state change, so a live deadline
@@ -831,7 +949,7 @@ impl FaultSim {
                 },
                 Ev::UpdateFc { hdr, data } => {
                     self.fc_issue.replenish(hdr, data);
-                    while let Some(&(msg, tlp, ready)) = self.credit_waiters.front() {
+                    while let Some(&(msg, tlp, ready, post_dep)) = self.credit_waiters.front() {
                         if self.fc_issue.consume(&tlp).is_err() {
                             break;
                         }
@@ -840,10 +958,19 @@ impl FaultSim {
                         // the MMIO write goes out at the later of the two.
                         let start = t.max_of(ready);
                         self.counters.recovery_time += start.since(ready);
-                        if start > ready {
-                            trace::span(trace::Layer::Recovery, "credit_wait", ready, start, msg);
-                        }
-                        self.transmit(msg, tlp, start);
+                        let dep = if start > ready {
+                            trace::stage(
+                                trace::Layer::Recovery,
+                                "credit_wait",
+                                ready,
+                                start,
+                                msg,
+                                &[post_dep],
+                            )
+                        } else {
+                            post_dep
+                        };
+                        self.transmit(msg, tlp, start, dep);
                     }
                 }
             }
@@ -1183,6 +1310,70 @@ mod tests {
             "a permanent 30% bad state must lose packets: {:?}",
             stats.counters
         );
+    }
+
+    /// Correlated (Markov-modulated) NIC stalls engage the stall counters
+    /// and cost latency, and every message still completes.
+    #[test]
+    fn markov_stalls_defer_and_complete() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        // ~33% duty cycle with multi-microsecond dwells: bursts span
+        // several back-to-back messages, unlike i.i.d. per-op stalls.
+        plan.markov_stall = Some(MarkovStall {
+            mean_up_ns: 4_000.0,
+            mean_down_ns: 2_000.0,
+        });
+        assert!(!plan.is_zero());
+        let stats = run_e2e_under_faults(&c, &plan, 128, 42).unwrap();
+        assert_eq!(stats.completed, 128);
+        assert!(stats.counters.nic_stalls > 0, "{:?}", stats.counters);
+        let model_ns = EndToEndLatencyModel::from_calibration(&c)
+            .total()
+            .as_ns_f64();
+        assert!(stats.max_ns > model_ns, "stalled messages must wait");
+        assert!(stats.min_ns >= model_ns);
+    }
+
+    /// A Markov block with zero mean down dwell is indistinguishable from
+    /// none: the zero-fault invariant holds and no randomness is drawn.
+    #[test]
+    fn zero_markov_stall_stays_bit_exact() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        plan.markov_stall = Some(MarkovStall {
+            mean_up_ns: 1_000.0,
+            mean_down_ns: 0.0,
+        });
+        assert!(plan.is_zero());
+        let a = run_e2e_under_faults(&c, &plan, 32, 1).unwrap();
+        let b = run_e2e_under_faults(&c, &FaultPlan::none(), 32, 2).unwrap();
+        assert_eq!(a, b);
+        assert!(a.counters.is_clean());
+    }
+
+    /// Markov-stall config survives the sparse-JSON roundtrip.
+    #[test]
+    fn markov_stall_json_roundtrip_and_defaults() {
+        let mut plan = FaultPlan::none();
+        plan.markov_stall = Some(MarkovStall {
+            mean_up_ns: 5_000.0,
+            mean_down_ns: 1_500.0,
+        });
+        let back = FaultPlan::from_json_str(&plan.to_json_string()).unwrap();
+        assert_eq!(back, plan);
+        // Sparse: only the down dwell given; the up dwell defaults.
+        let sparse =
+            FaultPlan::from_json_str("{\"markov_stall\": {\"mean_down_ns\": 800}}").unwrap();
+        let m = sparse.markov_stall.unwrap();
+        assert_eq!(m.mean_up_ns, 10_000.0);
+        assert_eq!(m.mean_down_ns, 800.0);
+        assert!(!sparse.is_zero());
+        // Zero down dwell parses to a zero plan.
+        assert!(FaultPlan::from_json_str("{\"markov_stall\": {}}")
+            .unwrap()
+            .is_zero());
+        assert!(FaultPlan::from_json_str("{\"markov_stall\": 3}").is_err());
     }
 
     /// The pooled sweep must be bit-identical to a serial one.

@@ -21,6 +21,17 @@
 //! clock, so agreement is exact, not approximate — any drift between the
 //! event-driven simulation and the closed-form model is a test failure,
 //! not a tolerance.
+//!
+//! Reconstruction is DAG-based ([`reconstruct`]): stages record explicit
+//! happens-after edges, and the breakdown is the longest
+//! dependency-weighted path ([`bband_trace::dag`]), not a flat sum. On
+//! the zero-fault end-to-end trace each message's nine slices form a
+//! chain, so the critical path degrades bit-exactly to
+//! [`EndToEndLatencyModel::total`]; on overlapped traces (`put_bw`,
+//! multicore) the same reconstruction splits each stage into exposed and
+//! hidden time. A wrapped span ring fails reconstruction loudly
+//! ([`DagError::Truncated`]) instead of producing a silently truncated
+//! breakdown.
 
 use crate::breakdown::Breakdown;
 use crate::calibration::Calibration;
@@ -28,7 +39,7 @@ use crate::fault::{run_raw, FaultPlan, FaultRunStats, LossPoint, RetryExhausted}
 use crate::injection::InjectionModel;
 use bband_sim::{Pcg64, SimDuration, SimTime, WorkerPool};
 use bband_trace as trace;
-use bband_trace::Trace;
+use bband_trace::{CriticalPath, DagError, Trace};
 
 /// The nine Figure-13 end-to-end slices, in critical-path order. These are
 /// the span names the instrumented fault path emits for one message.
@@ -104,26 +115,44 @@ pub fn traced_loss_sweep(
 /// Replay Equation 1's injection loop with tracing: each message charges
 /// `LLP_post`, `LLP_prog`, `busy_post`, and `measurement_update`
 /// sequentially on the virtual clock — the same integer-picosecond
-/// charges [`InjectionModel`] sums analytically. Returns the loop's total
-/// elapsed virtual time and the recorded trace.
+/// charges [`InjectionModel`] sums analytically. The loop is genuinely
+/// serial (one CPU does everything), so the stages form one chain across
+/// all messages and the DAG critical path equals the elapsed time.
+/// Returns the loop's total elapsed virtual time and the recorded trace.
 pub fn traced_injection(cal: &Calibration, messages: u64) -> (SimDuration, Trace) {
     let m = InjectionModel::from_calibration(cal);
     let (elapsed, task) = trace::collect(ring_capacity(messages), || {
         let mut t = SimTime::ZERO;
+        let mut prev = trace::SpanId::NONE;
         for msg in 0..messages {
             let post_done = t + m.llp_post;
-            trace::span(trace::Layer::Llp, "LLP_post", t, post_done, msg);
+            let a = trace::stage(trace::Layer::Llp, "LLP_post", t, post_done, msg, &[prev]);
             let prog_done = post_done + m.llp_prog;
-            trace::span(trace::Layer::Llp, "LLP_prog", post_done, prog_done, msg);
+            let b = trace::stage(
+                trace::Layer::Llp,
+                "LLP_prog",
+                post_done,
+                prog_done,
+                msg,
+                &[a],
+            );
             let busy_done = prog_done + m.busy_post;
-            trace::span(trace::Layer::Llp, "busy_post", prog_done, busy_done, msg);
+            let c = trace::stage(
+                trace::Layer::Llp,
+                "busy_post",
+                prog_done,
+                busy_done,
+                msg,
+                &[b],
+            );
             let next = busy_done + m.measurement_update;
-            trace::span(
+            prev = trace::stage(
                 trace::Layer::Llp,
                 "measurement_update",
                 busy_done,
                 next,
                 msg,
+                &[c],
             );
             t = next;
         }
@@ -132,34 +161,55 @@ pub fn traced_injection(cal: &Calibration, messages: u64) -> (SimDuration, Trace
     (elapsed, Trace::from_task(task))
 }
 
+/// Guard a reconstruction against ring wrap: a truncated trace must fail
+/// loudly, never produce a quietly short breakdown.
+fn check_complete(t: &Trace) -> Result<(), DagError> {
+    let dropped = t.dropped();
+    if dropped > 0 {
+        return Err(DagError::Truncated { dropped });
+    }
+    Ok(())
+}
+
+/// Reconstruct the DAG critical path of a recorded trace: longest
+/// dependency-weighted path over the stage edges, with per-stage
+/// exposed/hidden attribution. Errors on a wrapped ring.
+pub fn reconstruct(t: &Trace) -> Result<CriticalPath, DagError> {
+    trace::critical_path(t)
+}
+
 /// Rebuild the Figure-13 end-to-end breakdown from a recorded trace: the
 /// per-slice sums over every message traced. On a zero-fault trace of
-/// `n` messages each slice equals `n ×` the model's component.
-pub fn e2e_breakdown_from_trace(t: &Trace) -> Breakdown {
+/// `n` messages each slice equals `n ×` the model's component. Errors on
+/// a wrapped ring instead of summing a truncated trace.
+pub fn e2e_breakdown_from_trace(t: &Trace) -> Result<Breakdown, DagError> {
+    check_complete(t)?;
     let mut b = Breakdown::new("End-to-end latency, trace-derived (Fig. 13)");
     for name in FIG13_SLICES {
         b.push(name, t.total_for(name));
     }
-    b
+    Ok(b)
 }
 
 /// Rebuild the Figure-8 injection breakdown from a [`traced_injection`]
 /// trace: `Misc` re-aggregates the separately-recorded `busy_post` and
 /// `measurement_update` spans, exactly as Equation 1 defines it.
-pub fn injection_breakdown_from_trace(t: &Trace) -> Breakdown {
-    Breakdown::new("Injection overhead, trace-derived (Fig. 8)")
+pub fn injection_breakdown_from_trace(t: &Trace) -> Result<Breakdown, DagError> {
+    check_complete(t)?;
+    Ok(Breakdown::new("Injection overhead, trace-derived (Fig. 8)")
         .with("LLP_post", t.total_for("LLP_post"))
         .with("LLP_prog", t.total_for("LLP_prog"))
         .with(
             "Misc",
             t.total_for("busy_post") + t.total_for("measurement_update"),
-        )
+        ))
 }
 
-/// Sum of the nine critical-path slices across the trace — the
-/// trace-derived counterpart of [`EndToEndLatencyModel::total`] scaled by
-/// the number of traced messages.
-pub fn critical_path_total(t: &Trace) -> SimDuration {
+/// Sum of the nine Figure-13 slices across the trace — the *sequential*
+/// total, `n ×` [`EndToEndLatencyModel::total`] on a zero-fault trace of
+/// `n` messages. The DAG counterpart is [`reconstruct`]'s critical path,
+/// which on the same trace is one message's chain, not the sum.
+pub fn slice_sum_total(t: &Trace) -> SimDuration {
     FIG13_SLICES
         .iter()
         .map(|name| t.total_for(name))
@@ -190,8 +240,10 @@ mod tests {
 
     /// **The acceptance criterion**: the trace-derived breakdown of the
     /// zero-fault 8-byte end-to-end path agrees bit-exactly (integer
-    /// picoseconds) with the analytical model — slice by slice, and in
-    /// total.
+    /// picoseconds) with the analytical model — slice by slice, in total,
+    /// and through the DAG reconstruction: each message's stages form a
+    /// chain, so the critical path is exactly one message's nine slices,
+    /// `EndToEndLatencyModel::total()`.
     #[test]
     fn zero_fault_trace_breakdown_matches_model_bit_exactly() {
         let c = cal();
@@ -201,19 +253,35 @@ mod tests {
         assert_eq!(res.unwrap().completed, n);
         assert_eq!(t.dropped(), 0, "ring must not wrap");
 
-        let derived = e2e_breakdown_from_trace(&t);
+        let derived = e2e_breakdown_from_trace(&t).unwrap();
         let expect = model.breakdown();
         assert_eq!(derived.len(), 9);
         for (name, dur) in expect.items() {
             let got = derived.get(name).unwrap();
             assert_eq!(got, *dur * n, "slice {name}: trace {got} != model × {n}");
         }
-        assert_eq!(critical_path_total(&t), model.total() * n);
+        assert_eq!(slice_sum_total(&t), model.total() * n);
         assert_eq!(recovery_total(&t), SimDuration::ZERO);
+
+        // DAG reconstruction: chain degeneracy per message.
+        let cp = reconstruct(&t).unwrap();
+        assert_eq!(
+            cp.length,
+            model.total(),
+            "critical path must be one message's chain, bit-exactly"
+        );
+        for (name, dur) in expect.items() {
+            let s = cp.stage(name).unwrap();
+            assert_eq!(s.exposed, *dur, "slice {name}: one exposed instance");
+            assert_eq!(s.hidden(), *dur * (n - 1), "slice {name}: rest hidden");
+            assert_eq!(s.exposed_count, 1);
+        }
     }
 
     /// Equation 1, reconstructed: the traced injection loop's total and
-    /// Figure-8 split equal [`InjectionModel`] bit-exactly.
+    /// Figure-8 split equal [`InjectionModel`] bit-exactly — and because
+    /// the loop is one serial chain, the DAG critical path equals the
+    /// sequential sum (chain degeneracy on a live trace).
     #[test]
     fn traced_injection_matches_eq1_bit_exactly() {
         let c = cal();
@@ -223,13 +291,38 @@ mod tests {
         assert_eq!(elapsed, m.total() * n);
         assert_eq!(t.dropped(), 0);
 
-        let b = injection_breakdown_from_trace(&t);
+        let b = injection_breakdown_from_trace(&t).unwrap();
         assert_eq!(b.get("LLP_post").unwrap(), m.llp_post * n);
         assert_eq!(b.get("LLP_prog").unwrap(), m.llp_prog * n);
         assert_eq!(b.get("Misc").unwrap(), m.misc() * n);
         assert_eq!(b.total(), m.total() * n);
         // And the shares reproduce the modeled Figure-8 percentages.
         assert!((b.pct("LLP_post").unwrap() - 59.32).abs() < 0.1);
+
+        let cp = reconstruct(&t).unwrap();
+        assert_eq!(cp.length, cp.stage_sum, "a serial loop is a chain");
+        assert_eq!(cp.length, m.total() * n);
+        assert_eq!(cp.hidden_total(), SimDuration::ZERO);
+    }
+
+    /// Satellite: a wrapped ring fails reconstruction loudly — every
+    /// trace-derived view refuses to summarise a truncated recording.
+    #[test]
+    fn wrapped_ring_fails_reconstruction_loudly() {
+        let c = cal();
+        let (_, task) = trace::collect(8, || {
+            run_raw(&c, &FaultPlan::none(), 16, 0x5EED);
+        });
+        let t = Trace::from_task(task);
+        assert!(t.dropped() > 0, "tiny ring must wrap");
+        assert!(matches!(
+            reconstruct(&t),
+            Err(DagError::Truncated { dropped }) if dropped > 0
+        ));
+        assert!(e2e_breakdown_from_trace(&t).is_err());
+        assert!(injection_breakdown_from_trace(&t).is_err());
+        let msg = reconstruct(&t).unwrap_err().to_string();
+        assert!(msg.contains("ring wrapped"), "{msg}");
     }
 
     /// Under faults, the trace accounts for the excess: critical-path

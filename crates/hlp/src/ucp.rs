@@ -642,6 +642,7 @@ impl UcpWorker {
             payload: bytes,
             tag,
             visible_at: bband_sim::SimTime::ZERO,
+            cause: trace::SpanId::NONE,
         };
         if let Some((req, matched, tag)) = self.matcher.arrive(tag, ArrivedMsg::Eager(pseudo)) {
             let t0 = self.uct.now();

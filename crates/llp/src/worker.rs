@@ -35,6 +35,10 @@ pub struct Worker {
     /// Completions popped from the CQ but not yet consumed by a filtered
     /// wait (e.g. a send CQE seen while waiting for a receive).
     stashed: VecDeque<Cqe>,
+    /// Trace span of this core's most recent CPU-side stage (the serial
+    /// "CPU spine": each post/busy/progress span depends on the previous
+    /// one). [`bband_trace::SpanId::NONE`] on untraced runs.
+    last_cpu_stage: trace::SpanId,
     /// Diagnostics.
     pub busy_posts: u64,
     pub successful_posts: u64,
@@ -60,6 +64,7 @@ impl Worker {
             ring_capacity: 256,
             next_wr: 0,
             stashed: VecDeque::new(),
+            last_cpu_stage: trace::SpanId::NONE,
             busy_posts: 0,
             successful_posts: 0,
             progress_calls: 0,
@@ -142,12 +147,13 @@ impl Worker {
             let d = self.sample(self.costs.busy_post);
             self.cpu.advance(d);
             self.busy_posts += 1;
-            trace::span(
+            self.last_cpu_stage = trace::stage(
                 trace::Layer::Llp,
                 "busy_post",
                 t0,
                 self.cpu.now(),
                 self.next_wr,
+                &[self.last_cpu_stage],
             );
             return Err(PostError::Busy);
         }
@@ -195,9 +201,17 @@ impl Worker {
         if !spike.is_zero() {
             self.cpu.advance(spike);
         }
-        trace::span(trace::Layer::Llp, "LLP_post", t0, self.cpu.now(), wr_id.0);
-        // Hand to hardware at the CPU's current instant.
-        cluster.post(self.cpu.now(), self.node, desc, tap);
+        self.last_cpu_stage = trace::stage(
+            trace::Layer::Llp,
+            "LLP_post",
+            t0,
+            self.cpu.now(),
+            wr_id.0,
+            &[self.last_cpu_stage],
+        );
+        // Hand to hardware at the CPU's current instant; the hardware
+        // stages this post spawns chain back to the LLP_post span.
+        cluster.post_with_cause(self.cpu.now(), self.node, desc, self.last_cpu_stage, tap);
         self.ring_occupancy += 1;
         self.successful_posts += 1;
         Ok(wr_id)
@@ -281,21 +295,30 @@ impl Worker {
         let t0 = self.cpu.now();
         let d = self.sample(self.costs.prog);
         self.cpu.advance(d);
-        trace::span(
+        let arg = self.progress_calls;
+        self.progress_calls += 1;
+        cluster.advance_to(self.cpu.now(), tap);
+        let cqe = if let Some(stashed) = self.stashed.pop_front() {
+            Some(stashed)
+        } else {
+            let cqe = cluster.pop_cqe_visible(self.node, self.qp, self.cpu.now());
+            if let Some(ref c) = cqe {
+                self.note_completion(c);
+            }
+            cqe
+        };
+        // The poll that dequeues a completion happens-after both the
+        // previous CPU stage (serial core) and the DMA write it observed.
+        let hw = cqe.as_ref().map_or(trace::SpanId::NONE, |c| c.cause);
+        self.last_cpu_stage = trace::stage(
             trace::Layer::Llp,
             "LLP_prog",
             t0,
             self.cpu.now(),
-            self.progress_calls,
+            arg,
+            &[self.last_cpu_stage, hw],
         );
-        self.progress_calls += 1;
-        cluster.advance_to(self.cpu.now(), tap);
-        if let Some(stashed) = self.stashed.pop_front() {
-            return Some(stashed);
-        }
-        let cqe = cluster.pop_cqe_visible(self.node, self.qp, self.cpu.now())?;
-        self.note_completion(&cqe);
-        Some(cqe)
+        cqe
     }
 
     fn note_completion(&mut self, cqe: &Cqe) {
@@ -326,12 +349,13 @@ impl Worker {
                     let t0 = self.cpu.now();
                     let d = self.sample(self.costs.prog);
                     self.cpu.advance(d);
-                    trace::span(
+                    self.last_cpu_stage = trace::stage(
                         trace::Layer::Llp,
                         "LLP_prog",
                         t0,
                         self.cpu.now(),
                         cqe.wr_id.0,
+                        &[self.last_cpu_stage, cqe.cause],
                     );
                     self.progress_calls += 1;
                     return cqe;

@@ -41,6 +41,10 @@ pub struct MulticoreConfig {
     /// `repro --faults` plan's `credits` block, threaded through here so
     /// the exhaustion onset can be probed under starved pools.
     pub credits: Option<(u32, u32, u32)>,
+    /// Correlated NIC injection stalls as `(mean_up_ns, mean_down_ns)` —
+    /// the `repro --faults` plan's `markov_stall` block: a Markov-modulated
+    /// on/off process parks the NIC's fabric launches during "down" dwells.
+    pub stalls: Option<(f64, f64)>,
 }
 
 impl Default for MulticoreConfig {
@@ -51,6 +55,7 @@ impl Default for MulticoreConfig {
             messages_per_core: 1_000,
             ring_depth: 16,
             credits: None,
+            stalls: None,
         }
     }
 }
@@ -84,6 +89,9 @@ pub fn multicore_injection(cfg: &MulticoreConfig) -> MulticoreReport {
     }
     if let Some((hdr, data, update_batch)) = cfg.credits {
         cluster = cluster.with_credits(hdr, data, update_batch);
+    }
+    if let Some((up, down)) = cfg.stalls {
+        cluster.set_markov_stalls(up, down, cfg.stack.seed ^ 0x3A11);
     }
     let mut tap = NullTap;
     let mut workers: Vec<Worker> = (0..cfg.cores)
@@ -144,15 +152,18 @@ pub fn multicore_injection(cfg: &MulticoreConfig) -> MulticoreReport {
 /// core index), so the sweep fans out across a [`WorkerPool`] with results
 /// identical to the serial loop it replaces.
 pub fn credit_exhaustion_onset(stack: &StackConfig, core_counts: &[u32]) -> Vec<(u32, bool)> {
-    credit_exhaustion_onset_with(stack, core_counts, None)
+    credit_exhaustion_onset_with(stack, core_counts, None, None)
 }
 
-/// [`credit_exhaustion_onset`] under an optional posted-credit override —
-/// a starved pool pulls the onset down to fewer cores.
+/// [`credit_exhaustion_onset`] under an optional posted-credit override
+/// and/or a correlated-stall process — a starved pool pulls the onset down
+/// to fewer cores, and Markov stall windows back the NIC up so in-flight
+/// credits pile on during bursts.
 pub fn credit_exhaustion_onset_with(
     stack: &StackConfig,
     core_counts: &[u32],
     credits: Option<(u32, u32, u32)>,
+    stalls: Option<(f64, f64)>,
 ) -> Vec<(u32, bool)> {
     WorkerPool::new().map(core_counts.to_vec(), |_, cores| {
         let r = multicore_injection(&MulticoreConfig {
@@ -161,6 +172,7 @@ pub fn credit_exhaustion_onset_with(
             messages_per_core: 400,
             ring_depth: 16,
             credits,
+            stalls,
         });
         (cores, r.rc_stalled)
     })
@@ -177,6 +189,7 @@ mod tests {
             messages_per_core: 500,
             ring_depth: 16,
             credits: None,
+            stalls: None,
         }
     }
 
@@ -240,5 +253,26 @@ mod tests {
         // And the default remains clean at the same core count.
         let clean = multicore_injection(&det(8));
         assert!(clean.counters.is_clean());
+    }
+
+    #[test]
+    fn markov_stalls_reach_the_multicore_cluster() {
+        // Long down-dwells park the NIC; posted writes keep landing, so the
+        // stall episodes show up in the recovery counters and throughput
+        // drops against the clean run.
+        let stalled = multicore_injection(&MulticoreConfig {
+            stalls: Some((4_000.0, 2_000.0)),
+            ..det(4)
+        });
+        assert!(stalled.counters.nic_stalls > 0, "stall windows must fire");
+        assert!(!stalled.counters.is_clean());
+        let clean = multicore_injection(&det(4));
+        assert!(clean.counters.nic_stalls == 0);
+        assert!(
+            stalled.aggregate_rate_per_us < clean.aggregate_rate_per_us,
+            "stalls must cost throughput: {} vs {}",
+            stalled.aggregate_rate_per_us,
+            clean.aggregate_rate_per_us
+        );
     }
 }

@@ -26,7 +26,7 @@ use bband_pcie::{
     Dllp, FlowControl, LinkDirection, LinkModel, LinkTap, RcAction, RootComplex, Tlp, TlpId,
     TlpPurpose,
 };
-use bband_sim::{EventQueue, Pcg64, SimTime};
+use bband_sim::{EventQueue, Pcg64, SimTime, StallSchedule};
 use bband_trace as trace;
 use std::collections::{HashMap, VecDeque};
 
@@ -158,6 +158,18 @@ pub struct Cluster {
     pub messages_injected: u64,
     /// Diagnostics: total transport ACKs received.
     pub acks_received: u64,
+    /// Correlated (Markov-modulated) NIC injection-stall schedule per
+    /// node: while a stall window is active the NIC defers launching
+    /// messages onto the fabric.
+    stalls: Vec<Option<StallSchedule>>,
+    /// Diagnostics: messages whose launch a stall window deferred.
+    pub nic_stalls: u64,
+    /// Happens-after cause of each in-flight TLP (traced runs only; empty
+    /// and untouched when tracing is disabled).
+    tlp_cause: HashMap<TlpId, trace::SpanId>,
+    /// Happens-after cause of each in-flight network packet (traced runs
+    /// only).
+    pkt_cause: HashMap<PacketId, trace::SpanId>,
 }
 
 impl Cluster {
@@ -183,6 +195,10 @@ impl Cluster {
             next_packet_id: 0,
             messages_injected: 0,
             acks_received: 0,
+            stalls: vec![None; n_nodes],
+            nic_stalls: 0,
+            tlp_cause: HashMap::new(),
+            pkt_cause: HashMap::new(),
         }
     }
 
@@ -268,15 +284,61 @@ impl Cluster {
         self
     }
 
+    /// Install a correlated (Markov-modulated) NIC injection-stall process
+    /// on every node: alternating exponential up/down dwells with the given
+    /// means — the Gilbert–Elliott-style analogue of the fault engine's
+    /// `markov_stall` block. A non-positive `mean_down_ns` is a no-op.
+    pub fn set_markov_stalls(&mut self, mean_up_ns: f64, mean_down_ns: f64, seed: u64) {
+        for (i, slot) in self.stalls.iter_mut().enumerate() {
+            let sched = StallSchedule::new(mean_up_ns, mean_down_ns, seed ^ 0x57A11 ^ (i as u64));
+            *slot = sched.is_active().then_some(sched);
+        }
+    }
+
     /// Recovery activity visible at the cluster level. The hardware model
     /// here is fault-free (no loss or corruption is injected below the
-    /// transport), so only credit stalls can engage; the other counters
-    /// stay zero and [`RecoveryCounters::is_clean`] holds iff no RC ever
-    /// parked an MMIO write.
+    /// transport), so only credit stalls and configured Markov stall
+    /// windows can engage; the other counters stay zero and
+    /// [`RecoveryCounters::is_clean`] holds iff no RC ever parked an MMIO
+    /// write and no stall window deferred a launch.
     pub fn recovery_counters(&self) -> bband_profiling::RecoveryCounters {
         let mut k = bband_profiling::RecoveryCounters::new();
         k.credit_stalls = self.nodes.iter().map(|n| n.rc.stalled_issues).sum();
+        k.nic_stalls = self.nic_stalls;
         k
+    }
+
+    /// Consume the recorded happens-after cause of a TLP, if any.
+    fn tlp_dep(&mut self, id: TlpId) -> trace::SpanId {
+        if self.tlp_cause.is_empty() {
+            trace::SpanId::NONE
+        } else {
+            self.tlp_cause.remove(&id).unwrap_or(trace::SpanId::NONE)
+        }
+    }
+
+    /// Record `span` as the cause of an in-flight TLP (traced runs only).
+    fn link_tlp(&mut self, id: TlpId, span: trace::SpanId) {
+        if !span.is_none() {
+            self.tlp_cause.insert(id, span);
+        }
+    }
+
+    /// Consume the recorded happens-after cause of a packet, if any.
+    fn pkt_dep(&mut self, id: PacketId) -> trace::SpanId {
+        if self.pkt_cause.is_empty() {
+            trace::SpanId::NONE
+        } else {
+            self.pkt_cause.remove(&id).unwrap_or(trace::SpanId::NONE)
+        }
+    }
+
+    /// Record `span` as the cause of an in-flight packet (traced runs
+    /// only).
+    fn link_pkt(&mut self, id: PacketId, span: trace::SpanId) {
+        if !span.is_none() {
+            self.pkt_cause.insert(id, span);
+        }
     }
 
     /// Hardware ring occupancy of a node's NIC.
@@ -318,6 +380,23 @@ impl Cluster {
         desc: PostDescriptor,
         tap: &mut dyn LinkTap,
     ) {
+        self.post_with_cause(now, node, desc, trace::SpanId::NONE, tap);
+    }
+
+    /// [`Cluster::post`] with an explicit happens-after cause: the span of
+    /// the CPU-side work (`LLP_post`) that produced the MMIO write(s). The
+    /// hardware stages spawned by this post — PCIe traversals, NIC
+    /// processing, wire flight, completion delivery — chain their trace
+    /// edges back to `cause`, so a traced run reconstructs the full
+    /// software→hardware dependency DAG.
+    pub fn post_with_cause(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        desc: PostDescriptor,
+        cause: trace::SpanId,
+        tap: &mut dyn LinkTap,
+    ) {
         // Hardware that was due before the post (UpdateFC credit returns,
         // CQE writes, ...) has already happened from the CPU's viewpoint.
         self.advance_to(now, tap);
@@ -332,6 +411,8 @@ impl Cluster {
         );
         n.nic.occupancy += 1;
         let mut actions = Vec::new();
+        let mut posted_ids: Vec<TlpId> = Vec::new();
+        let traced = trace::enabled() && !cause.is_none();
         if desc.pio {
             let op = n.nic.next_pio_op;
             n.nic.next_pio_op += 1;
@@ -346,13 +427,22 @@ impl Cluster {
             for _ in 0..chunks {
                 let tlp = Tlp::pio_chunk(n.rc.next_id());
                 n.nic.pio_chunk_map.insert(tlp.id, op);
+                if traced {
+                    posted_ids.push(tlp.id);
+                }
                 actions.extend(n.rc.mmio_write(now, tlp));
             }
         } else {
             // Doorbell path: one 8-byte MWr; the NIC will fetch the rest.
             let tlp = Tlp::doorbell(n.rc.next_id());
             n.nic.fetching.insert(tlp.id, FetchStage::Descriptor(desc));
+            if traced {
+                posted_ids.push(tlp.id);
+            }
             actions.extend(n.rc.mmio_write(now, tlp));
+        }
+        for id in posted_ids {
+            self.link_tlp(id, cause);
         }
         self.apply_rc_actions(node, actions);
     }
@@ -441,15 +531,20 @@ impl Cluster {
         for act in actions {
             match act {
                 RcAction::SendTlp { depart, tlp } => {
-                    let n = &mut self.nodes[node.0 as usize];
-                    let lat = n.link.tlp_latency(&tlp, &mut n.link_rng);
-                    trace::span(
+                    let dep = self.tlp_dep(tlp.id);
+                    let lat = {
+                        let n = &mut self.nodes[node.0 as usize];
+                        n.link.tlp_latency(&tlp, &mut n.link_rng)
+                    };
+                    let span = trace::stage(
                         trace::Layer::PcieTx,
-                        "pcie_down",
+                        "TX PCIe",
                         depart,
                         depart + lat,
                         tlp.id.0,
+                        &[dep],
                     );
+                    self.link_tlp(tlp.id, span);
                     self.queue
                         .push(depart + lat, HwEvent::TlpAtNic { node, tlp });
                 }
@@ -471,9 +566,20 @@ impl Cluster {
         if node == self.tap_node {
             tap.on_tlp(now, LinkDirection::Upstream, &tlp);
         }
-        let n = &mut self.nodes[node.0 as usize];
-        let lat = n.link.tlp_latency(&tlp, &mut n.link_rng);
-        trace::span(trace::Layer::PcieRx, "pcie_up", now, now + lat, tlp.id.0);
+        let dep = self.tlp_dep(tlp.id);
+        let lat = {
+            let n = &mut self.nodes[node.0 as usize];
+            n.link.tlp_latency(&tlp, &mut n.link_rng)
+        };
+        let span = trace::stage(
+            trace::Layer::PcieRx,
+            "RX PCIe",
+            now,
+            now + lat,
+            tlp.id.0,
+            &[dep],
+        );
+        self.link_tlp(tlp.id, span);
         self.queue.push(now + lat, HwEvent::TlpAtRc { node, tlp });
     }
 
@@ -491,7 +597,7 @@ impl Cluster {
     /// segmented and pipelined: segments depart one serialization apart
     /// (the slower of wire and PCIe-fetch rates), and only the final
     /// segment carries acknowledgement/completion semantics.
-    fn transmit(&mut self, now: SimTime, node: NodeId, desc: PostDescriptor) {
+    fn transmit(&mut self, now: SimTime, node: NodeId, desc: PostDescriptor, cause: trace::SpanId) {
         let kind = match desc.opcode {
             Opcode::RdmaWrite => PacketKind::RdmaWrite,
             Opcode::Send => PacketKind::Send,
@@ -501,8 +607,38 @@ impl Cluster {
             "two-sided sends above the MTU must be fragmented by the HLP"
         );
         self.messages_injected += 1;
+        // A Markov stall window parks the launch until the window closes
+        // (correlated NIC stalls — bursts spanning several messages).
+        let mut now = now;
+        let mut cause = cause;
+        if let Some(sched) = self.stalls[node.0 as usize].as_mut() {
+            let (resume, window) = sched.defer_with_window(now);
+            if resume > now {
+                self.nic_stalls += 1;
+                let w = window.map_or(0, |(s, _)| s.as_ps());
+                let stall = trace::stage(
+                    trace::Layer::Recovery,
+                    "nic_stall",
+                    now,
+                    resume,
+                    w,
+                    &[cause],
+                );
+                if !stall.is_none() {
+                    cause = stall;
+                }
+                now = resume;
+            }
+        }
         let depart = now + self.nodes[node.0 as usize].nic.cfg.proc_delay;
-        trace::span(trace::Layer::Nic, "nic_tx", now, depart, desc.wr_id.0);
+        let tx = trace::stage(
+            trace::Layer::Nic,
+            "nic_tx",
+            now,
+            depart,
+            desc.wr_id.0,
+            &[cause],
+        );
         let segments = desc.payload.div_ceil(MTU).max(1);
         // Per-segment pipeline spacing: the NIC can launch the next
         // segment once it is fetched and the previous one serialized.
@@ -532,13 +668,15 @@ impl Cluster {
             }
             let seg_depart = depart + spacing * i as u64;
             let lat = self.network.traverse(seg_depart, &pkt, &mut self.net_rng);
-            trace::span(
+            let flight = trace::stage(
                 trace::Layer::Wire,
                 "net_flight",
                 seg_depart,
                 seg_depart + lat,
                 pkt_id.0,
+                &[tx],
             );
+            self.link_pkt(pkt_id, flight);
             self.queue.push(
                 seg_depart + lat,
                 HwEvent::NetAtNic {
@@ -553,9 +691,14 @@ impl Cluster {
     /// DMA-written into host memory (payload and CQE data in one posted
     /// write for small messages, as Mellanox inline-CQE reception does).
     fn deliver_recv(&mut self, now: SimTime, node: NodeId, pkt: Packet, tap: &mut dyn LinkTap) {
+        // The message's wire-flight span (if traced); it survives an
+        // "unexpected" stash because the map entry is only consumed here.
+        let dep = self.pkt_dep(pkt.id);
+        let pkt_id = pkt.id;
         let n = &mut self.nodes[node.0 as usize];
         let Some((wr_id, buf_len)) = n.nic.rx_posted.pop_front() else {
             n.nic.unexpected.push_back(pkt);
+            self.link_pkt(pkt_id, dep);
             return;
         };
         assert!(
@@ -569,6 +712,7 @@ impl Cluster {
             tlp.id,
             (wr_id, QpId(pkt.dst_qp), pkt.payload, pkt.tag, pkt.src),
         );
+        self.link_tlp(tlp.id, dep);
         self.nic_send_upstream(now, node, tlp, tap);
     }
 
@@ -587,7 +731,38 @@ impl Cluster {
                 self.nic_receive_downstream(at, node, tlp, tap);
             }
             HwEvent::TlpAtRc { node, tlp } => {
+                let tid = tlp.id;
+                let dep = self.tlp_dep(tid);
                 let actions = self.nodes[node.0 as usize].rc.on_upstream_tlp(at, tlp);
+                if !dep.is_none() {
+                    // Memory writes become an explicit RC-to-MEM stage;
+                    // read completions (CplD) inherit the read's cause.
+                    let mut handoff = dep;
+                    if let Some(done) = actions.iter().find_map(|a| match a {
+                        RcAction::MemWriteDone { at: done, tlp } if tlp.id == tid => Some(*done),
+                        _ => None,
+                    }) {
+                        handoff = trace::stage(
+                            trace::Layer::Memory,
+                            "RC-to-MEM",
+                            at,
+                            done,
+                            tid.0,
+                            &[dep],
+                        );
+                        self.link_tlp(tid, handoff);
+                    }
+                    let replies: Vec<TlpId> = actions
+                        .iter()
+                        .filter_map(|a| match a {
+                            RcAction::SendTlp { tlp, .. } => Some(tlp.id),
+                            _ => None,
+                        })
+                        .collect();
+                    for id in replies {
+                        self.link_tlp(id, handoff);
+                    }
+                }
                 self.apply_rc_actions(node, actions);
             }
             HwEvent::DllpAtNic { node, dllp } => {
@@ -613,29 +788,37 @@ impl Cluster {
                 PacketKind::Segment => {
                     // Mid-message segment: DMA-write the bytes, no ACK,
                     // no completion.
+                    let dep = self.pkt_dep(pkt.id);
                     let tlp = {
                         let n = &mut self.nodes[node.0 as usize];
                         Tlp::payload_deliver(n.nic.next_tlp_id(node), pkt.payload)
                     };
+                    self.link_tlp(tlp.id, dep);
                     self.nic_send_upstream(at, node, tlp, tap);
                 }
                 PacketKind::RdmaWrite => {
-                    self.send_transport_ack(at, node, &pkt);
+                    let dep = self.pkt_dep(pkt.id);
+                    self.send_transport_ack(at, node, &pkt, dep);
                     // Payload lands via DMA write; no CQE on the target for
                     // one-sided writes.
                     let tlp = {
                         let n = &mut self.nodes[node.0 as usize];
                         Tlp::payload_deliver(n.nic.next_tlp_id(node), pkt.payload)
                     };
+                    self.link_tlp(tlp.id, dep);
                     self.nic_send_upstream(at, node, tlp, tap);
                 }
                 PacketKind::Send => {
-                    self.send_transport_ack(at, node, &pkt);
+                    // Peek (don't consume) the flight span: deliver_recv
+                    // consumes it, including across an "unexpected" stash.
+                    let dep = self.pkt_cause.get(&pkt.id).copied().unwrap_or_default();
+                    self.send_transport_ack(at, node, &pkt, dep);
                     self.deliver_recv(at, node, pkt, tap);
                 }
             },
             HwEvent::MemVisible { node, tlp } => {
                 trace::instant(trace::Layer::Memory, "mem_visible", at, tlp.id.0);
+                let cause = self.tlp_dep(tlp.id);
                 let n = &mut self.nodes[node.0 as usize];
                 match tlp.purpose {
                     TlpPurpose::CqeWrite => {
@@ -649,6 +832,7 @@ impl Cluster {
                                 payload: 0,
                                 tag: 0,
                                 visible_at: at,
+                                cause,
                             });
                         }
                     }
@@ -665,6 +849,7 @@ impl Cluster {
                                 payload,
                                 tag,
                                 visible_at: at,
+                                cause,
                             });
                         }
                         // One-sided payload writes have no recv_in_flight
@@ -685,6 +870,8 @@ impl Cluster {
         tlp: Tlp,
         tap: &mut dyn LinkTap,
     ) {
+        // The TLP's own link-traversal span, recorded when it departed.
+        let dep = self.tlp_dep(tlp.id);
         match tlp.purpose {
             TlpPurpose::PioChunk => {
                 let ready = {
@@ -704,7 +891,7 @@ impl Cluster {
                 };
                 if let Some(desc) = ready {
                     if desc.inline {
-                        self.transmit(at, node, desc);
+                        self.transmit(at, node, desc, dep);
                     } else {
                         // PIO descriptor, non-inline payload: §2 step 3 —
                         // DMA-read the payload (first MTU; the rest
@@ -716,6 +903,7 @@ impl Cluster {
                             n.nic.fetching.insert(mrd.id, FetchStage::Payload(desc));
                             mrd
                         };
+                        self.link_tlp(mrd.id, dep);
                         self.nic_send_upstream(at, node, mrd, tap);
                     }
                 }
@@ -736,6 +924,7 @@ impl Cluster {
                     n.nic.fetching.insert(mrd.id, FetchStage::Descriptor(desc));
                     mrd
                 };
+                self.link_tlp(mrd.id, dep);
                 self.nic_send_upstream(at, node, mrd, tap);
             }
             TlpPurpose::ReadCompletion => {
@@ -767,8 +956,11 @@ impl Cluster {
                     }
                 };
                 match next {
-                    Next::Transmit(desc) => self.transmit(at, node, desc),
-                    Next::FetchPayload(mrd) => self.nic_send_upstream(at, node, mrd, tap),
+                    Next::Transmit(desc) => self.transmit(at, node, desc, dep),
+                    Next::FetchPayload(mrd) => {
+                        self.link_tlp(mrd.id, dep);
+                        self.nic_send_upstream(at, node, mrd, tap);
+                    }
                 }
             }
             other => panic!("unexpected downstream TLP at NIC: {other:?}"),
@@ -776,12 +968,27 @@ impl Cluster {
     }
 
     /// Target NIC acknowledges an arriving message (transport-level ACK).
-    fn send_transport_ack(&mut self, at: SimTime, node: NodeId, pkt: &Packet) {
+    fn send_transport_ack(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        pkt: &Packet,
+        cause: trace::SpanId,
+    ) {
         let ack_id = PacketId(self.next_packet_id);
         self.next_packet_id += 1;
         let ack = pkt.ack_for(ack_id);
         let depart = at + self.nodes[node.0 as usize].nic.cfg.proc_delay;
         let lat = self.network.traverse(depart, &ack, &mut self.net_rng);
+        let flight = trace::stage(
+            trace::Layer::Wire,
+            "ack_flight",
+            depart,
+            depart + lat,
+            ack_id.0,
+            &[cause],
+        );
+        self.link_pkt(ack_id, flight);
         self.queue.push(
             depart + lat,
             HwEvent::NetAtNic {
@@ -791,9 +998,15 @@ impl Cluster {
         );
     }
 
+    /// See [`Cluster::recovery_counters`] for how stall deferrals surface.
+    pub fn markov_stalls_active(&self) -> bool {
+        self.stalls.iter().any(Option::is_some)
+    }
+
     /// §2 steps 4–5: on ACK reception, DMA-write a CQE (if signaled).
     fn on_transport_ack(&mut self, at: SimTime, node: NodeId, ack: Packet, tap: &mut dyn LinkTap) {
         let msg_id = ack.acks.expect("ack links its message");
+        let dep = self.pkt_dep(ack.id);
         let cqe_tlp = {
             let n = &mut self.nodes[node.0 as usize];
             let Some(inflight) = n.nic.inflight.remove(&msg_id) else {
@@ -816,6 +1029,7 @@ impl Cluster {
             }
         };
         if let Some(tlp) = cqe_tlp {
+            self.link_tlp(tlp.id, dep);
             self.nic_send_upstream(at, node, tlp, tap);
         }
     }
@@ -1152,6 +1366,105 @@ mod tests {
             (gap - 632.0).abs() < 1.0,
             "inter-pod round-trip penalty {gap} ns, expected 632"
         );
+    }
+
+    #[test]
+    fn markov_stalls_defer_launches_but_everything_completes() {
+        let run = |stalled: bool| {
+            let mut c = paper_cluster();
+            if stalled {
+                // ~50% duty cycle, multi-microsecond dwells: bursts park
+                // several consecutive launches.
+                c.set_markov_stalls(3_000.0, 3_000.0, 99);
+                assert!(c.markov_stalls_active());
+            }
+            let mut tap = NullTap;
+            let mut t = SimTime::from_ns(0);
+            let mut last = SimTime::ZERO;
+            for i in 0..200u64 {
+                c.post(t, NodeId(0), desc(i, Opcode::RdmaWrite), &mut tap);
+                t += bband_sim::SimDuration::from_ns(300);
+            }
+            c.run_until_idle(&mut tap);
+            let mut seen = 0;
+            while let Some(cqe) = c.pop_cqe(NodeId(0), QpId(0)) {
+                last = cqe.visible_at;
+                seen += 1;
+            }
+            assert_eq!(seen, 200);
+            (last, c.recovery_counters())
+        };
+        let (clean_end, clean_k) = run(false);
+        let (stalled_end, stalled_k) = run(true);
+        assert!(clean_k.is_clean());
+        assert!(stalled_k.nic_stalls > 0, "{stalled_k:?}");
+        assert!(!stalled_k.is_clean());
+        assert!(
+            stalled_end > clean_end,
+            "stall windows must cost completion time: {stalled_end:?} vs {clean_end:?}"
+        );
+    }
+
+    #[test]
+    fn zero_down_dwell_markov_stall_is_inert() {
+        let mut c = paper_cluster();
+        c.set_markov_stalls(1_000.0, 0.0, 7);
+        assert!(!c.markov_stalls_active());
+        let mut tap = NullTap;
+        c.post(
+            SimTime::ZERO,
+            NodeId(0),
+            desc(0, Opcode::RdmaWrite),
+            &mut tap,
+        );
+        c.run_until_idle(&mut tap);
+        assert_eq!(c.recovery_counters().nic_stalls, 0);
+    }
+
+    #[test]
+    fn traced_post_chains_hardware_stages_to_the_cause() {
+        let (_, task) = bband_trace::collect(256, || {
+            let mut c = paper_cluster();
+            let mut tap = NullTap;
+            let cause = bband_trace::stage(
+                bband_trace::Layer::Llp,
+                "LLP_post",
+                SimTime::ZERO,
+                SimTime::from_ns(175),
+                0,
+                &[],
+            );
+            c.post_with_cause(
+                SimTime::from_ns(175),
+                NodeId(0),
+                desc(1, Opcode::RdmaWrite),
+                cause,
+                &mut tap,
+            );
+            c.run_until_idle(&mut tap);
+            let cqe = c.pop_cqe(NodeId(0), QpId(0)).expect("cqe");
+            assert!(!cqe.cause.is_none(), "traced CQE must carry its cause");
+        });
+        // The recorded stages form one connected chain from LLP_post to
+        // the CQE's RC-to-MEM write: every hardware span has a dep, and
+        // the DAG critical path is strictly longer than any single stage.
+        let trace = bband_trace::Trace::from_task(task);
+        for name in [
+            "TX PCIe",
+            "nic_tx",
+            "net_flight",
+            "ack_flight",
+            "RX PCIe",
+            "RC-to-MEM",
+        ] {
+            assert!(
+                trace.spans().any(|(_, s)| s.name == name && s.has_deps()),
+                "{name} missing or unchained"
+            );
+        }
+        let cp = bband_trace::critical_path(&trace).unwrap();
+        assert!(cp.length > bband_sim::SimDuration::from_ns(500));
+        assert!(cp.length <= cp.stage_sum);
     }
 
     #[test]

@@ -109,6 +109,10 @@ pub struct Cqe {
     pub tag: u64,
     /// Instant the CQE became visible in host memory.
     pub visible_at: SimTime,
+    /// Trace span of the RC-to-MEM write that made this entry visible
+    /// ([`bband_trace::SpanId::NONE`] on untraced runs) — the happens-after
+    /// edge a consuming `LLP_prog` chains from.
+    pub cause: bband_trace::SpanId,
 }
 
 #[cfg(test)]

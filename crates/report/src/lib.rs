@@ -22,7 +22,7 @@ pub mod table;
 pub use bars::render_bar;
 pub use curves::render_curves;
 pub use export::{breakdown_json, curves_json, distribution_json, to_json};
-pub use flame::render_flame;
+pub use flame::{render_critical_path, render_flame};
 pub use hist::render_histogram;
 pub use loss::{loss_sweep_json, render_loss_sweep};
 pub use table::render_table1;

@@ -24,10 +24,12 @@ pub mod dist;
 pub mod engine;
 pub mod pool;
 pub mod rng;
+pub mod stall;
 pub mod time;
 
 pub use dist::{Jitter, NoiseSpike};
 pub use engine::{CpuClock, EventQueue, ScheduledEvent};
 pub use pool::WorkerPool;
 pub use rng::Pcg64;
+pub use stall::StallSchedule;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,155 @@
+//! Markov-modulated stall windows: a two-state (up/down) renewal process
+//! with exponentially distributed dwell times.
+//!
+//! This is the temporal analogue of the Gilbert–Elliott loss channel: where
+//! Gilbert–Elliott correlates *which packets* are lost, this process
+//! correlates *when the device stalls*. A NIC that has fallen behind on DMA
+//! reads or doorbell processing does not drop one operation — it goes dark
+//! for a dwell, services everything queued, and goes dark again. The
+//! schedule is lazily materialised along the virtual clock so callers only
+//! pay for the windows they actually cross.
+
+use crate::rng::Pcg64;
+use crate::time::{SimDuration, SimTime};
+
+/// A lazily generated alternating up/down schedule. `defer(t)` answers
+/// "if work arrives at `t`, when may the device service it?" — `t` itself
+/// when the device is up, the end of the enclosing stall window when it is
+/// down.
+///
+/// Queries must not move backwards past the current window (the schedule
+/// is generated forward and not retained); event-driven callers that
+/// process work in time order satisfy this naturally.
+#[derive(Debug, Clone)]
+pub struct StallSchedule {
+    rng: Pcg64,
+    mean_up: f64,
+    mean_down: f64,
+    /// Current (or next) stall window, `[start, end)` in virtual time.
+    start: SimTime,
+    end: SimTime,
+}
+
+impl StallSchedule {
+    /// Build a schedule with mean up (serving) dwell `mean_up_ns` and mean
+    /// down (stalled) dwell `mean_down_ns`, both exponential. A
+    /// non-positive `mean_down_ns` yields an always-up schedule that draws
+    /// no randomness.
+    pub fn new(mean_up_ns: f64, mean_down_ns: f64, seed: u64) -> Self {
+        let mut s = StallSchedule {
+            rng: Pcg64::new(seed),
+            mean_up: mean_up_ns.max(0.0),
+            mean_down: mean_down_ns.max(0.0),
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        };
+        if s.is_active() {
+            let first = s.dwell(s.mean_up);
+            s.start = SimTime::ZERO + first;
+            s.end = s.start + s.dwell(s.mean_down);
+        }
+        s
+    }
+
+    /// False when the schedule can never stall (zero mean down dwell).
+    pub fn is_active(&self) -> bool {
+        self.mean_down > 0.0
+    }
+
+    /// Exponential dwell with the given mean, floored at one picosecond so
+    /// the schedule always advances.
+    fn dwell(&mut self, mean_ns: f64) -> SimDuration {
+        let u = self.rng.next_f64();
+        let ns = -mean_ns * (1.0 - u).ln();
+        SimDuration::from_ps((ns * 1e3).max(1.0) as u64)
+    }
+
+    /// Earliest service time for work arriving at `t`, plus the stall
+    /// window that deferred it (if any).
+    pub fn defer_with_window(&mut self, t: SimTime) -> (SimTime, Option<(SimTime, SimTime)>) {
+        if !self.is_active() {
+            return (t, None);
+        }
+        while t >= self.end {
+            self.start = self.end + self.dwell(self.mean_up);
+            self.end = self.start + self.dwell(self.mean_down);
+        }
+        if t >= self.start {
+            (self.end, Some((self.start, self.end)))
+        } else {
+            (t, None)
+        }
+    }
+
+    /// Earliest service time for work arriving at `t`.
+    pub fn defer(&mut self, t: SimTime) -> SimTime {
+        self.defer_with_window(t).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_schedule_is_identity_and_draws_nothing() {
+        let mut s = StallSchedule::new(1000.0, 0.0, 42);
+        let pristine = s.rng.clone();
+        for ns in [0u64, 17, 1_000_000] {
+            assert_eq!(s.defer(SimTime::from_ns(ns)), SimTime::from_ns(ns));
+        }
+        assert_eq!(s.rng, pristine, "inactive schedule must not consume RNG");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StallSchedule::new(500.0, 200.0, 7);
+        let mut b = StallSchedule::new(500.0, 200.0, 7);
+        for ns in (0..10_000u64).step_by(37) {
+            assert_eq!(a.defer(SimTime::from_ns(ns)), b.defer(SimTime::from_ns(ns)));
+        }
+    }
+
+    #[test]
+    fn defer_lands_at_window_end_and_reports_the_window() {
+        let mut s = StallSchedule::new(300.0, 100.0, 11);
+        let mut deferred = 0u64;
+        let mut t = SimTime::ZERO;
+        for _ in 0..10_000 {
+            t += SimDuration::from_ns(25);
+            let (when, window) = s.defer_with_window(t);
+            match window {
+                Some((start, end)) => {
+                    deferred += 1;
+                    assert!(start <= t && t < end, "window must enclose the query");
+                    assert_eq!(when, end, "deferred work resumes at window end");
+                }
+                None => assert_eq!(when, t),
+            }
+        }
+        assert!(
+            deferred > 0,
+            "a 25% duty-cycle schedule must defer sometimes"
+        );
+    }
+
+    #[test]
+    fn duty_cycle_matches_means() {
+        // P(down) = mean_down / (mean_up + mean_down) for an alternating
+        // renewal process; sample the schedule on a fine grid.
+        let mut s = StallSchedule::new(400.0, 100.0, 3);
+        let n = 200_000u64;
+        let mut down = 0u64;
+        for k in 0..n {
+            let t = SimTime::from_ps(k * 5_000); // 5 ns grid
+            if s.defer(t) != t {
+                down += 1;
+            }
+        }
+        let frac = down as f64 / n as f64;
+        assert!(
+            (frac - 0.2).abs() < 0.02,
+            "down fraction {frac} far from 0.20"
+        );
+    }
+}

@@ -5,10 +5,14 @@
 //! microseconds of *virtual* time (the format's unit; `displayTimeUnit`
 //! is set to ns so viewers show nanoseconds). Spans become complete
 //! (`ph: "X"`) events, instants become thread-scoped instant (`ph: "i"`)
-//! events, and metadata (`ph: "M"`) events name each task and layer
-//! track. Output order — metadata first, then records task-major in
-//! emission order — is a pure function of the merged trace, so serial and
-//! pooled runs render byte-identical JSON.
+//! events, metadata (`ph: "M"`) events name each task and layer track,
+//! and recorded happens-after edges become flow-event pairs (`ph: "s"`
+//! at the predecessor's end, `ph: "f"` with `bp: "e"` at the successor's
+//! start) so Perfetto draws the dependency arrows the DAG reconstructor
+//! walks. Output order — metadata first, then records task-major in
+//! emission order, then flows in successor order — is a pure function of
+//! the merged trace, so serial and pooled runs render byte-identical
+//! JSON.
 
 use crate::{Layer, Trace};
 use serde::json::Value;
@@ -88,6 +92,39 @@ pub fn chrome_trace_value(trace: &Trace) -> Value {
         ));
         events.push(Value::Obj(obj));
     }
+    // Happens-after edges as flow-event pairs: arrow from the
+    // predecessor's end to the successor's start. Flow ids are a running
+    // counter over the deterministic (task-major, emission-order,
+    // dep-slot-order) edge enumeration.
+    let mut flow_id = 0u64;
+    for (pid, task) in trace.tasks().iter().enumerate() {
+        for s in &task.spans {
+            for dep in s.deps() {
+                let Ok(src_idx) = task.spans.binary_search_by_key(&dep, |r| r.id) else {
+                    continue;
+                };
+                let src = &task.spans[src_idx];
+                flow_id += 1;
+                let common = |ph: &str, tid: u8, ts: f64| {
+                    let mut obj = vec![
+                        ("name".into(), Value::Str("dep".into())),
+                        ("cat".into(), Value::Str("flow".into())),
+                        ("ph".into(), Value::Str(ph.into())),
+                        ("id".into(), Value::UInt(flow_id)),
+                        ("pid".into(), Value::UInt(pid as u64)),
+                        ("tid".into(), Value::UInt(tid as u64)),
+                        ("ts".into(), Value::Float(ts)),
+                    ];
+                    if ph == "f" {
+                        obj.push(("bp".into(), Value::Str("e".into())));
+                    }
+                    Value::Obj(obj)
+                };
+                events.push(common("s", src.layer.track(), ps_to_us(src.end().as_ps())));
+                events.push(common("f", s.layer.track(), ps_to_us(s.start.as_ps())));
+            }
+        }
+    }
     Value::Obj(vec![
         ("displayTimeUnit".into(), Value::Str("ns".into())),
         (
@@ -109,24 +146,26 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{collect, instant, span};
+    use crate::{collect, instant, stage};
     use bband_sim::SimTime;
 
     fn sample_trace() -> Trace {
         let (_, task) = collect(64, || {
-            span(
+            let post = stage(
                 Layer::Llp,
                 "LLP_post",
                 SimTime::ZERO,
                 SimTime::from_ns(175),
                 0,
+                &[],
             );
-            span(
+            stage(
                 Layer::Wire,
                 "Wire",
                 SimTime::from_ns(400),
                 SimTime::from_ns(675),
                 0,
+                &[post],
             );
             instant(Layer::Transport, "nak", SimTime::from_ns(500), 3);
         });
@@ -134,8 +173,9 @@ mod tests {
     }
 
     /// The schema check the satellite task asks for: every event carries
-    /// the mandatory Chrome trace fields with the right types, and the
-    /// document parses back as JSON.
+    /// the mandatory Chrome trace fields with the right types (including
+    /// the flow-event pairs for recorded edges), and the document parses
+    /// back as JSON.
     #[test]
     fn export_satisfies_chrome_trace_schema() {
         let json = chrome_trace_json(&sample_trace());
@@ -143,32 +183,59 @@ mod tests {
         assert_eq!(doc["displayTimeUnit"], "ns");
         let events = doc["traceEvents"].as_array().expect("traceEvents array");
         assert!(!events.is_empty());
-        let mut saw = (false, false, false); // (X, i, M)
+        let mut saw = [false; 5]; // X, i, M, s, f
         for ev in events {
             let ph = ev["ph"].as_str().expect("ph is a string");
             assert!(ev["name"].as_str().is_some(), "name missing: {ev}");
             assert!(ev["pid"].as_u64().is_some(), "pid missing: {ev}");
             match ph {
                 "X" => {
-                    saw.0 = true;
+                    saw[0] = true;
                     assert!(ev["ts"].as_f64().is_some());
                     assert!(ev["dur"].as_f64().expect("dur") >= 0.0);
                     assert!(ev["cat"].as_str().is_some());
                     assert!(ev["tid"].as_u64().is_some());
                 }
                 "i" => {
-                    saw.1 = true;
+                    saw[1] = true;
                     assert!(ev["ts"].as_f64().is_some());
                     assert_eq!(ev["s"], "t", "instants are thread-scoped");
                 }
                 "M" => {
-                    saw.2 = true;
+                    saw[2] = true;
                     assert!(ev["args"]["name"].as_str().is_some());
+                }
+                "s" | "f" => {
+                    if ph == "s" {
+                        saw[3] = true;
+                    } else {
+                        saw[4] = true;
+                        assert_eq!(ev["bp"], "e", "flow ends bind to enclosing slice");
+                    }
+                    assert_eq!(ev["cat"], "flow");
+                    assert!(ev["id"].as_u64().is_some(), "flow id missing: {ev}");
+                    assert!(ev["ts"].as_f64().is_some());
+                    assert!(ev["tid"].as_u64().is_some());
                 }
                 other => panic!("unexpected phase {other}"),
             }
         }
-        assert!(saw.0 && saw.1 && saw.2, "all three phases present: {saw:?}");
+        assert!(saw.iter().all(|&b| b), "all five phases present: {saw:?}");
+    }
+
+    /// Flow pairs share an id and connect predecessor end to successor
+    /// start.
+    #[test]
+    fn flow_events_bridge_recorded_edges() {
+        let json = chrome_trace_json(&sample_trace());
+        let doc = serde_json::from_str::<serde_json::Value>(&json).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        let start = events.iter().find(|e| e["ph"] == "s").expect("flow start");
+        let finish = events.iter().find(|e| e["ph"] == "f").expect("flow end");
+        assert_eq!(start["id"], finish["id"]);
+        // LLP_post ends at 175 ns = 0.175 µs; Wire starts at 0.4 µs.
+        assert_eq!(start["ts"].as_f64().unwrap(), 0.175);
+        assert_eq!(finish["ts"].as_f64().unwrap(), 0.4);
     }
 
     #[test]

@@ -29,14 +29,24 @@
 //! slices, and [`component_sums`](Trace::component_sums) rebuilds the
 //! breakdown bit-exactly in integer picoseconds (see
 //! `bband_core::tracepath`).
+//!
+//! Beyond flat spans, instrumentation can record pipeline **stages** with
+//! explicit happens-after edges ([`stage`] returns a [`SpanId`]; later
+//! stages list their predecessors). The [`dag`] module reconstructs the
+//! longest dependency-weighted path over those edges — the critical path
+//! — and splits each stage's time into *exposed* (bounding the run) and
+//! *hidden* (overlapped) components; the Chrome export renders the edges
+//! as flow arrows.
 
 mod chrome;
+pub mod dag;
 mod recorder;
 
 pub use chrome::{chrome_trace_json, chrome_trace_value};
+pub use dag::{critical_path, CriticalPath, DagError, StageAttribution};
 pub use recorder::{
-    collect, enabled, instant, instant_now, now, set_now, span, span_dur, Layer, SpanRecord,
-    TaskTrace,
+    collect, enabled, instant, instant_now, now, set_now, span, span_dur, stage, stage_dur, Layer,
+    SpanId, SpanRecord, TaskTrace, MAX_DEPS,
 };
 
 use bband_sim::SimDuration;

@@ -75,6 +75,28 @@ impl Layer {
     }
 }
 
+/// Handle to a recorded span within its task, used to declare
+/// happens-after edges between stages. `SpanId::NONE` (zero) means "no
+/// span" — recording sites return it when tracing is disabled, so edge
+/// plumbing costs nothing on untraced runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null id: no span recorded (tracing disabled or no predecessor).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for the null id.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Maximum predecessors one record can carry. Two suffices for the stack's
+/// join points (a progress stage waits on its CPU predecessor *and* the
+/// hardware completion it reaps); wider joins chain through intermediates.
+pub const MAX_DEPS: usize = 2;
+
 /// One recorded span or instant. `Copy`, name `&'static str`: recording
 /// never allocates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +116,12 @@ pub struct SpanRecord {
     pub arg: u64,
     /// True for point events.
     pub instant: bool,
+    /// Emission index within the task's ring, 1-based (0 never occurs in a
+    /// recorded span). Assigned by the recorder, not the caller.
+    pub id: u64,
+    /// Happens-after edges: ids of up to [`MAX_DEPS`] spans in the same
+    /// task that must finish before this one starts. Zero entries pad.
+    pub deps: [u64; MAX_DEPS],
 }
 
 impl SpanRecord {
@@ -106,6 +134,35 @@ impl SpanRecord {
     pub fn end(&self) -> SimTime {
         self.start + self.dur
     }
+
+    /// The non-null predecessor ids.
+    pub fn deps(&self) -> impl Iterator<Item = u64> + '_ {
+        self.deps.iter().copied().filter(|&d| d != 0)
+    }
+
+    /// True when this record declares at least one predecessor.
+    pub fn has_deps(&self) -> bool {
+        self.deps.iter().any(|&d| d != 0)
+    }
+}
+
+/// Pack a dependency slice into the fixed-width record field, dropping
+/// null ids. More than [`MAX_DEPS`] non-null predecessors is a bug at the
+/// instrumentation site (debug-asserted), not a recording-time branch.
+fn pack_deps(deps: &[SpanId]) -> [u64; MAX_DEPS] {
+    let mut out = [0u64; MAX_DEPS];
+    let mut n = 0;
+    for d in deps {
+        if d.is_none() {
+            continue;
+        }
+        debug_assert!(n < MAX_DEPS, "stage declares more than {MAX_DEPS} deps");
+        if n < MAX_DEPS {
+            out[n] = d.0;
+            n += 1;
+        }
+    }
+    out
 }
 
 /// The trace one [`collect`] scope produced: retained records oldest
@@ -126,6 +183,10 @@ struct Ring {
     /// Index of the oldest record once the ring has wrapped.
     head: usize,
     dropped: u64,
+    /// Next emission id (1-based). Ids survive ring wrap — a retained span
+    /// may then reference an overwritten predecessor, which reconstruction
+    /// treats as a loud failure via the drop count.
+    next_id: u64,
 }
 
 impl Ring {
@@ -135,11 +196,14 @@ impl Ring {
             buf: Vec::with_capacity(capacity),
             head: 0,
             dropped: 0,
+            next_id: 1,
         }
     }
 
     #[inline]
-    fn push(&mut self, rec: SpanRecord) {
+    fn push(&mut self, mut rec: SpanRecord) -> SpanId {
+        rec.id = self.next_id;
+        self.next_id += 1;
         if self.buf.len() < self.buf.capacity() {
             self.buf.push(rec);
         } else {
@@ -147,6 +211,7 @@ impl Ring {
             self.head = (self.head + 1) % self.buf.len();
             self.dropped += 1;
         }
+        SpanId(rec.id)
     }
 
     fn into_task(mut self) -> TaskTrace {
@@ -186,36 +251,66 @@ pub fn now() -> SimTime {
 }
 
 #[inline]
-fn record(rec: SpanRecord) {
+fn record(rec: SpanRecord) -> SpanId {
     SINK.with(|s| {
         if let Some(ring) = s.borrow_mut().last_mut() {
-            ring.push(rec);
+            ring.push(rec)
+        } else {
+            SpanId::NONE
         }
-    });
+    })
 }
 
 /// Record a span from `start` to `end`. No-op unless a collector is
-/// installed.
+/// installed. Returns the span's id for use as a later stage's
+/// predecessor ([`SpanId::NONE`] when disabled).
 #[inline]
-pub fn span(layer: Layer, name: &'static str, start: SimTime, end: SimTime, arg: u64) {
-    if !enabled() {
-        return;
-    }
-    record(SpanRecord {
-        start,
-        dur: end.since(start),
-        layer,
-        name,
-        arg,
-        instant: false,
-    });
+pub fn span(layer: Layer, name: &'static str, start: SimTime, end: SimTime, arg: u64) -> SpanId {
+    stage(layer, name, start, end, arg, &[])
 }
 
 /// Record a span of `dur` starting at `start`.
 #[inline]
-pub fn span_dur(layer: Layer, name: &'static str, start: SimTime, dur: SimDuration, arg: u64) {
+pub fn span_dur(
+    layer: Layer,
+    name: &'static str,
+    start: SimTime,
+    dur: SimDuration,
+    arg: u64,
+) -> SpanId {
+    stage_dur(layer, name, start, dur, arg, &[])
+}
+
+/// Record a pipeline stage: a span from `start` to `end` that happens
+/// after every span in `deps` (null ids are skipped — threading
+/// [`SpanId::NONE`] through untraced runs is free). This is the edge-
+/// recording primitive every layer's instrumentation uses; the DAG
+/// reconstructor recovers the critical path from these edges.
+#[inline]
+pub fn stage(
+    layer: Layer,
+    name: &'static str,
+    start: SimTime,
+    end: SimTime,
+    arg: u64,
+    deps: &[SpanId],
+) -> SpanId {
+    stage_dur(layer, name, start, end.since(start), arg, deps)
+}
+
+/// Record a pipeline stage of `dur` starting at `start` with
+/// happens-after edges to `deps`.
+#[inline]
+pub fn stage_dur(
+    layer: Layer,
+    name: &'static str,
+    start: SimTime,
+    dur: SimDuration,
+    arg: u64,
+    deps: &[SpanId],
+) -> SpanId {
     if !enabled() {
-        return;
+        return SpanId::NONE;
     }
     record(SpanRecord {
         start,
@@ -224,14 +319,16 @@ pub fn span_dur(layer: Layer, name: &'static str, start: SimTime, dur: SimDurati
         name,
         arg,
         instant: false,
-    });
+        id: 0,
+        deps: pack_deps(deps),
+    })
 }
 
 /// Record a point event at `at`.
 #[inline]
-pub fn instant(layer: Layer, name: &'static str, at: SimTime, arg: u64) {
+pub fn instant(layer: Layer, name: &'static str, at: SimTime, arg: u64) -> SpanId {
     if !enabled() {
-        return;
+        return SpanId::NONE;
     }
     record(SpanRecord {
         start: at,
@@ -240,17 +337,19 @@ pub fn instant(layer: Layer, name: &'static str, at: SimTime, arg: u64) {
         name,
         arg,
         instant: true,
-    });
+        id: 0,
+        deps: [0; MAX_DEPS],
+    })
 }
 
 /// Record a point event at the last [`set_now`] time — for sites (credit
 /// pools, link CRC checks) whose APIs carry no clock.
 #[inline]
-pub fn instant_now(layer: Layer, name: &'static str, arg: u64) {
+pub fn instant_now(layer: Layer, name: &'static str, arg: u64) -> SpanId {
     if !enabled() {
-        return;
+        return SpanId::NONE;
     }
-    instant(layer, name, now(), arg);
+    instant(layer, name, now(), arg)
 }
 
 /// Run `f` with a fresh collector of `capacity` records installed on this

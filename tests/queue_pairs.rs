@@ -69,6 +69,7 @@ fn multicore_message_conservation() {
             messages_per_core: 200,
             ring_depth: 8,
             credits: None,
+            stalls: None,
         });
         // Per-core overhead must stay at least the single-core cost: more
         // cores cannot make one core faster.
