@@ -14,9 +14,16 @@
 //! repro --faults plan.json loss  # inject a fault plan (loss sweep etc.)
 //! repro trace              # whole-stack traced run (flame view)
 //! repro trace --bench put_bw   # trace a live microbenchmark instead of
-//!                          # the fault engine (put_bw | am_lat | osu):
-//!                          # DAG critical path, exposed/hidden split,
-//!                          # and a zero-fault diff against the engine
+//!                          # the fault engine (put_bw | am_lat | osu |
+//!                          # multicore): DAG critical path,
+//!                          # exposed/hidden split, and a zero-fault
+//!                          # diff against the engine
+//! repro --faults plan.json trace   # recovery attribution: the
+//!                          # nominal-vs-recovery critical-path split and
+//!                          # each message's worst retransmission/backoff
+//! repro metrics            # virtual-time metrics registry: per-stage
+//!                          # p50/p95/p99/p99.9 latency quantile tables
+//! repro metrics --out metrics.json  # ... with the JSON artifact
 //! repro --faults plan.json trace --out trace.json
 //!                          # Chrome trace JSON (open in ui.perfetto.dev):
 //!                          # go-back-N replay windows and backoff gaps
@@ -89,7 +96,7 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--serial] [--seed N] [--faults PLAN.json] [--json DIR] [--timing-json PATH] [--out TRACE.json] [--bench put_bw|am_lat|osu] <target>... | all"
+            "usage: repro [--quick] [--serial] [--seed N] [--faults PLAN.json] [--json DIR] [--timing-json PATH] [--out OUT.json] [--bench put_bw|am_lat|osu|multicore] <target>... | all"
         );
         eprintln!("targets: {}", ALL_TARGETS.join(" "));
         std::process::exit(2);
@@ -105,8 +112,8 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if trace_out.is_some() && !targets.contains(&"trace") {
-        eprintln!("--out requires the trace target");
+    if trace_out.is_some() && !targets.contains(&"trace") && !targets.contains(&"metrics") {
+        eprintln!("--out requires the trace or metrics target");
         std::process::exit(2);
     }
     if let Some(b) = &trace_bench {
@@ -157,11 +164,17 @@ fn main() {
     }
 
     if let Some(path) = &trace_out {
-        let json = match &trace_bench {
-            Some(b) => bband_bench::trace_bench_chrome_json(b, scale),
-            None => bband_bench::trace_chrome_json(),
+        // `trace` takes precedence when both targets ran; `metrics` gets
+        // the quantile artifact.
+        let json = if targets.contains(&"trace") {
+            match &trace_bench {
+                Some(b) => bband_bench::trace_bench_chrome_json(b, scale),
+                None => bband_bench::trace_chrome_json(),
+            }
+        } else {
+            bband_bench::metrics_json_string(scale)
         };
-        std::fs::write(path, json).expect("write trace json");
+        std::fs::write(path, json).expect("write output json");
         eprintln!("wrote {path}");
     }
 
@@ -247,6 +260,9 @@ fn json_artifact(target: &str, scale: Scale, trace_bench: Option<&str>) -> Optio
             Some(b) => bband_bench::trace_bench_chrome_json(b, scale),
             None => bband_bench::trace_chrome_json(),
         },
+        // Quantile summaries + counters of the metered e2e run (same
+        // plan/seed/scale as the rendered table).
+        "metrics" => bband_bench::metrics_json_string(scale),
         _ => return None,
     })
 }

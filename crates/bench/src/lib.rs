@@ -12,17 +12,19 @@ use bband_core::{
     Breakdown, Calibration, EndToEndLatencyModel, InjectionModel, LlpLatencyModel,
     OverallInjectionModel, ScalingModel, WhatIf,
 };
+use bband_metrics::MetricsSet;
 use bband_microbench::{
     am_lat, credit_exhaustion_onset_with, eager_rndv_sweep, put_bw, traced_am_lat,
-    traced_osu_latency, traced_put_bw, AmLatConfig, OsuLatConfig, PutBwConfig, StackConfig,
+    traced_multicore, traced_osu_latency, traced_put_bw, AmLatConfig, MulticoreConfig,
+    OsuLatConfig, PutBwConfig, StackConfig,
 };
-use bband_mpi::{collective_scaling, Collective};
+use bband_mpi::{collective_scaling_with, Collective};
 use bband_report::{
-    render_bar, render_critical_path, render_curves, render_flame, render_histogram,
-    render_loss_sweep, render_table1,
+    metrics_json, render_bar, render_critical_path, render_curves, render_flame, render_histogram,
+    render_loss_sweep, render_quantiles, render_recovery_attribution, render_table1, to_json,
 };
-use bband_sim::WorkerPool;
-use bband_trace::Trace;
+use bband_sim::{SimDuration, WorkerPool};
+use bband_trace::{per_message_attribution, Trace};
 
 /// Experiment scale: quick (tests) or full (the harness default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -358,14 +360,32 @@ pub fn ext_multicore() -> String {
 /// Collective scaling on the simulated stack: barrier and allreduce
 /// completion vs rank count (⌈log₂N⌉ rounds over the point-to-point
 /// layer). The sweep fans independent rank counts across the worker pool.
+/// A `--faults` plan's `credits`/`markov_stall` blocks reach the live
+/// fabric (its two fault knobs — it has no lossy wire), and engaged runs
+/// report their recovery counters per rank count.
 pub fn ext_collectives(scale: Scale) -> String {
     let counts: &[u32] = match scale {
         Scale::Quick => &[2, 4, 8],
         Scale::Full => &[2, 4, 8, 16, 32],
     };
-    let barrier = collective_scaling(counts, Collective::Barrier, 9);
-    let allreduce = collective_scaling(counts, Collective::Allreduce { bytes: 256 }, 9);
+    let plan = fault::active_plan();
+    let credits = plan.credits.map(|c| (c.hdr, c.data, c.update_batch));
+    let stalls = plan
+        .markov_stall
+        .filter(|m| !m.is_zero())
+        .map(|m| (m.mean_up_ns, m.mean_down_ns));
+    let barrier = collective_scaling_with(counts, Collective::Barrier, 9, credits, stalls);
+    let allreduce = collective_scaling_with(
+        counts,
+        Collective::Allreduce { bytes: 256 },
+        9,
+        credits,
+        stalls,
+    );
     let mut out = String::from("Collective scaling (deterministic, min-clock driver)\n");
+    if credits.is_some() || stalls.is_some() {
+        out.push_str("  (--faults credit/stall overrides active on the live fabric)\n");
+    }
     out.push_str(&format!(
         "  {:>6}  {:>7}  {:>14}  {:>16}\n",
         "ranks", "rounds", "barrier", "allreduce 256B"
@@ -377,6 +397,14 @@ pub fn ext_collectives(scale: Scale) -> String {
             b.completion.as_ns_f64(),
             a.completion.as_ns_f64()
         ));
+        if !b.counters.is_clean() || !a.counters.is_clean() {
+            out.push_str(&format!(
+                "  {:>6}  recovery: barrier {}; allreduce {}\n",
+                "",
+                b.counters.render_compact(),
+                a.counters.render_compact()
+            ));
+        }
     }
     out
 }
@@ -530,6 +558,19 @@ pub fn ext_trace(scale: Scale) -> String {
                         "MISMATCH"
                     }
                 ));
+            } else {
+                // Lossy run: split the critical path into nominal vs
+                // recovery exposed time and name, per message, the single
+                // retransmission/backoff span that lengthened it.
+                out.push('\n');
+                match per_message_attribution(&trace, "HLP_rx_prog") {
+                    Ok(msgs) => out.push_str(&render_recovery_attribution(
+                        "Recovery attribution (lossy critical path)",
+                        &cp,
+                        &msgs,
+                    )),
+                    Err(e) => out.push_str(&format!("  ! {e}\n")),
+                }
             }
         }
         Err(e) => out.push_str(&format!("  ! {e}\n")),
@@ -547,8 +588,10 @@ pub fn ext_trace(scale: Scale) -> String {
 }
 
 /// Live microbenchmarks that can run under the tracer
-/// (`repro trace --bench <name>`).
-pub const TRACE_BENCHES: [&str; 3] = ["put_bw", "am_lat", "osu"];
+/// (`repro trace --bench <name>`). `multicore` runs a deliberately
+/// credit-starved 8-core pool, so its DAG threads across cores through
+/// the shared root complex and credit stalls surface as exposed time.
+pub const TRACE_BENCHES: [&str; 4] = ["put_bw", "am_lat", "osu", "multicore"];
 
 /// Run one traced live microbenchmark, returning a display label and the
 /// recorded trace. Deterministic (validation) stacks, so the trace — and
@@ -601,6 +644,30 @@ fn run_traced_bench(which: &str, scale: Scale) -> (String, Trace) {
                 trace,
             )
         }
+        "multicore" => {
+            let messages_per_core = match scale {
+                Scale::Quick => 300,
+                Scale::Full => 2_000,
+            };
+            // Starved on purpose: 4 header credits replenished 2 at a
+            // time against 8 concurrent posters, so the RC parks MMIO
+            // writes and the credit waits become critical-path stages.
+            let cfg = MulticoreConfig {
+                stack: StackConfig::validation(),
+                cores: 8,
+                messages_per_core,
+                ring_depth: 16,
+                credits: Some((4, 64, 2)),
+                stalls: None,
+            };
+            let (_, trace) = traced_multicore(&cfg);
+            (
+                format!(
+                    "multicore_injection (8 cores x {messages_per_core} msgs, starved credits)"
+                ),
+                trace,
+            )
+        }
         other => panic!("unknown trace bench {other}; known: {TRACE_BENCHES:?}"),
     }
 }
@@ -632,10 +699,21 @@ pub fn ext_trace_bench(which: &str, scale: Scale) -> String {
                 ratio * 100.0,
                 cp.hidden_total()
             ));
+            let split = cp.recovery_split();
+            if split.recovery_total > SimDuration::ZERO {
+                out.push_str(&format!(
+                    "  recovery (credit waits / stall windows): {} exposed on the \
+                     critical path, {} recorded in total\n",
+                    split.recovery_exposed, split.recovery_total
+                ));
+            }
         }
         Err(e) => out.push_str(&format!("  ! {e}\n")),
     }
-    if fault::active_plan().is_zero() {
+    // The multicore bench is deliberately congested (starved credits), so
+    // a diff against the zero-fault single-message engine path would be
+    // comparing different regimes; every other bench diffs when clean.
+    if which != "multicore" && fault::active_plan().is_zero() {
         out.push('\n');
         out.push_str(&trace_diff(&trace));
     }
@@ -643,12 +721,15 @@ pub fn ext_trace_bench(which: &str, scale: Scale) -> String {
 }
 
 /// Stage names with identical semantics in the live cluster and the
-/// fault engine — the comparable subset [`trace_diff`] checks. HLP spans
-/// are excluded deliberately: the engine charges the paper's aggregate
-/// HLP slices while the live MPI/UCP stack records its own finer-grained
-/// sub-steps under the same names, so their per-span means measure
-/// different things.
-const DIFF_STAGES: [&str; 6] = [
+/// fault engine — the comparable subset [`trace_diff`] checks. The HLP
+/// names are the paper's aggregate slices: the live MPI layer brackets
+/// them around its finer-grained sub-steps (`ucp.tag_send`,
+/// `ucp.recv_cb`, MPICH callbacks and epilogue), so `HLP_post` and
+/// `HLP_rx_prog` mean the same thing in both pipelines — 26.56 ns and
+/// 224.66 ns per 8-byte message.
+const DIFF_STAGES: [&str; 8] = [
+    "HLP_post",
+    "HLP_rx_prog",
     "LLP_post",
     "LLP_prog",
     "TX PCIe",
@@ -737,8 +818,69 @@ pub fn trace_bench_chrome_json(which: &str, scale: Scale) -> String {
     run_traced_bench(which, scale).1.to_chrome_json()
 }
 
+/// The metered end-to-end run behind the `metrics` target: a fixed task
+/// fan-out (so quick/full differ only in per-task message count), the
+/// active fault plan and seed override applied, drained task-major. The
+/// registry records on the virtual clock, so pooled and `--serial` runs
+/// are byte-identical.
+fn metered(scale: Scale) -> (String, Vec<bband_core::fault::FaultRunStats>, MetricsSet) {
+    let plan = fault::active_plan();
+    let messages_per_task = match scale {
+        Scale::Quick => 64,
+        Scale::Full => 500,
+    };
+    const TASKS: u64 = 4;
+    let (runs, set) = tracepath::metered_e2e(
+        &Calibration::default(),
+        &plan,
+        messages_per_task,
+        TASKS,
+        StackConfig::default().seed,
+        &WorkerPool::new(),
+    );
+    let title = format!(
+        "Per-stage latency quantiles: {TASKS} tasks x {messages_per_task} 8-byte e2e messages \
+         ({} fault plan)",
+        if plan.is_zero() { "zero" } else { "active" }
+    );
+    (
+        title,
+        runs.into_iter().map(|(stats, _)| stats).collect(),
+        set,
+    )
+}
+
+/// Extension: the virtual-time metrics registry over the metered
+/// end-to-end run — per-stage p50/p95/p99/p99.9 latency quantile tables
+/// plus the recovery counters. On a zero fault plan every stage row is a
+/// spike at its calibrated mean; under `--faults` the e2e histogram grows
+/// the retransmission/backoff tail the quantiles pin down.
+pub fn ext_metrics(scale: Scale) -> String {
+    let (title, runs, set) = metered(scale);
+    let mut out = render_quantiles(&title, &set);
+    let completed: u64 = runs.iter().map(|r| r.completed).sum();
+    let messages: u64 = runs.iter().map(|r| r.messages).sum();
+    out.push_str(&format!("  completed {completed}/{messages} messages\n"));
+    let mut counters = bband_profiling::RecoveryCounters::new();
+    for r in &runs {
+        counters.merge(&r.counters);
+    }
+    if !counters.is_clean() {
+        out.push_str(&format!("  recovery: {}\n", counters.render_compact()));
+    }
+    out
+}
+
+/// JSON artifact of the `metrics` target (`repro metrics --out ...` and
+/// `repro --json DIR metrics`): the quantile summaries and counters with
+/// a stable schema.
+pub fn metrics_json_string(scale: Scale) -> String {
+    let (title, _, set) = metered(scale);
+    to_json(&metrics_json(&title, &set))
+}
+
 /// Every figure id the harness knows.
-pub const ALL_TARGETS: [&str; 26] = [
+pub const ALL_TARGETS: [&str; 27] = [
     "table1",
     "fig4",
     "fig6",
@@ -765,6 +907,7 @@ pub const ALL_TARGETS: [&str; 26] = [
     "insights",
     "loss",
     "trace",
+    "metrics",
 ];
 
 /// Run one target by name.
@@ -796,6 +939,7 @@ pub fn run_target(name: &str, scale: Scale) -> String {
         "insights" => ext_insights(),
         "loss" => ext_loss(scale),
         "trace" => ext_trace(scale),
+        "metrics" => ext_metrics(scale),
         other => panic!("unknown target {other}; known: {ALL_TARGETS:?}"),
     }
 }
@@ -865,6 +1009,50 @@ mod tests {
             assert!(!out.trim().is_empty(), "bench {b} rendered nothing");
             assert!(!out.contains("trace-diff: MISMATCH"), "bench {b}:\n{out}");
         }
+    }
+
+    #[test]
+    fn metrics_target_renders_spiked_quantiles_on_the_clean_plan() {
+        let out = ext_metrics(Scale::Quick);
+        assert!(out.contains("p99.9"), "{out}");
+        assert!(out.contains("e2e_latency"), "{out}");
+        for name in bband_core::tracepath::FIG13_SLICES {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(out.contains("completed 256/256 messages"), "{out}");
+        // Deterministic: two invocations render the same bytes.
+        assert_eq!(out, ext_metrics(Scale::Quick));
+    }
+
+    #[test]
+    fn metrics_json_artifact_is_deterministic_and_parses() {
+        let a = metrics_json_string(Scale::Quick);
+        assert_eq!(a, metrics_json_string(Scale::Quick));
+        let v = serde_json::from_str::<serde_json::Value>(&a).unwrap();
+        assert!(v
+            .get("stages")
+            .and_then(|s| s.as_array())
+            .is_some_and(|s| s.len() >= 10));
+    }
+
+    #[test]
+    fn multicore_trace_bench_exposes_credit_waits() {
+        let out = ext_trace_bench("multicore", Scale::Quick);
+        assert!(out.contains("credit_wait"), "{out}");
+        assert!(
+            out.contains("recovery (credit waits / stall windows)"),
+            "{out}"
+        );
+        // Congested regime: deliberately not diffed against the engine.
+        assert!(!out.contains("trace-diff"), "{out}");
+    }
+
+    #[test]
+    fn osu_trace_diff_covers_the_aggregate_hlp_stages() {
+        let out = ext_trace_bench("osu", Scale::Quick);
+        assert!(out.contains("HLP_post"), "{out}");
+        assert!(out.contains("HLP_rx_prog"), "{out}");
+        assert!(out.contains("trace-diff: OK"), "{out}");
     }
 
     #[test]

@@ -398,8 +398,11 @@ enum Ev {
     },
     /// A transport ACK arrives back at the initiator NIC.
     AckArrive { psn: Psn },
-    /// A transport NAK arrives back at the initiator NIC.
-    NakArrive { psn: Psn },
+    /// A transport NAK arrives back at the initiator NIC. Carries the
+    /// NAK-flight span so the go-back-N resends it triggers chain after
+    /// it in the DAG — a lossy run's critical path can then name the
+    /// flight that provoked each retransmission.
+    NakArrive { psn: Psn, dep: trace::SpanId },
     /// Retransmission-timer check.
     Timer,
     /// An UpdateFC DLLP replenishes the initiator's credit pool.
@@ -589,6 +592,10 @@ struct FaultSim {
     /// Messages blocked on credits: (msg, time the MMIO was ready, the
     /// stage the eventual transmit happens after).
     credit_waiters: VecDeque<(u64, Tlp, SimTime, trace::SpanId)>,
+    /// Last stage (or drop marker) of each PSN's most recent transmission
+    /// attempt, indexed by PSN — the predecessor an `rto_backoff` gap
+    /// declares, so timer recovery chains into the attempt it waited on.
+    psn_launch: Vec<trace::SpanId>,
     /// When the target CPU is next free to reap a completion.
     target_cpu_free: SimTime,
     /// Stage that last occupied the target CPU (`HLP_rx_prog` of the
@@ -673,6 +680,7 @@ impl FaultSim {
                 .filter(|m| !m.is_zero())
                 .map(|m| StallSchedule::new(m.mean_up_ns, m.mean_down_ns, seed ^ 0x57A11)),
             credit_waiters: VecDeque::new(),
+            psn_launch: Vec::new(),
             target_cpu_free: SimTime::ZERO,
             target_cpu_span: trace::SpanId::NONE,
             post_time,
@@ -742,26 +750,82 @@ impl FaultSim {
         }
     }
 
+    /// Remember the last stage (or drop marker) of `psn`'s transmission
+    /// attempt, for the `rto_backoff` gap that may later wait on it.
+    fn note_launch(&mut self, psn: Psn, span: trace::SpanId) {
+        let i = psn.0 as usize;
+        if i >= self.psn_launch.len() {
+            self.psn_launch.resize(i + 1, trace::SpanId::NONE);
+        }
+        self.psn_launch[i] = span;
+    }
+
     /// Put one packet (first transmission or retransmission) on the
     /// fabric, departing the NIC at `t`, as a stage chain hanging off
-    /// `dep`.
-    fn launch(&mut self, msg: u64, psn: Psn, pkt: &Packet, t: SimTime, dep: trace::SpanId) {
+    /// `dep`. Retransmitted legs are recovery traffic: they record on the
+    /// recovery track under distinct names and accrue to the recovery-time
+    /// ledger, so the DAG's nominal-vs-recovery split is purely by layer.
+    fn launch(
+        &mut self,
+        msg: u64,
+        psn: Psn,
+        pkt: &Packet,
+        t: SimTime,
+        dep: trace::SpanId,
+        retx: bool,
+    ) {
         let (depart, dep) = self.defer_nic_stall(t, dep);
         if !self.fabric_drops(pkt) {
             // The fabric leg decomposes into the Figure-13 wire and switch
             // slices; wire + switch is the old combined `net` charge.
             let at_switch = depart + self.wire;
             let arrive = at_switch + self.switch;
-            let w = trace::stage(trace::Layer::Wire, "Wire", depart, at_switch, msg, &[dep]);
-            let s = trace::stage(trace::Layer::Switch, "Switch", at_switch, arrive, msg, &[w]);
+            let (wn, sn, wl, sl) = if retx {
+                self.counters.recovery_time += self.net();
+                (
+                    "Wire(retx)",
+                    "Switch(retx)",
+                    trace::Layer::Recovery,
+                    trace::Layer::Recovery,
+                )
+            } else {
+                ("Wire", "Switch", trace::Layer::Wire, trace::Layer::Switch)
+            };
+            let w = trace::stage(wl, wn, depart, at_switch, msg, &[dep]);
+            let s = trace::stage(sl, sn, at_switch, arrive, msg, &[w]);
+            self.note_launch(psn, s);
             self.queue.push(arrive, Ev::PktArrive { msg, psn, dep: s });
         } else {
-            trace::instant(trace::Layer::Recovery, "pkt_drop", depart, msg);
+            // The drop marker is a zero-duration stage, not an instant: it
+            // must carry the happens-after edge to the pre-drop chain so
+            // the backoff gap that later waits on this attempt still
+            // reaches the nominal post stages through it.
+            let d = trace::stage(
+                trace::Layer::Recovery,
+                "pkt_drop",
+                depart,
+                depart,
+                msg,
+                &[dep],
+            );
+            self.note_launch(psn, if d.is_none() { dep } else { d });
         }
     }
 
-    /// Send a transport ACK or NAK back across the fabric (droppable).
-    fn launch_ctrl(&mut self, t: SimTime, name: &'static str, ev: Ev) {
+    /// Send a transport ACK or NAK back across the fabric (droppable),
+    /// recorded as a flight stage happening after `dep` — the arrival
+    /// that provoked it. NAK flights are recovery traffic (recovery
+    /// track and ledger); ACK flights are the nominal transport ack
+    /// path. The flight span is handed to `make` so the arrival event
+    /// can carry it.
+    fn launch_ctrl(
+        &mut self,
+        t: SimTime,
+        name: &'static str,
+        recovery: bool,
+        dep: trace::SpanId,
+        make: impl FnOnce(trace::SpanId) -> Ev,
+    ) {
         let ctrl = Packet::message(
             PacketId(u64::MAX),
             PacketKind::Send,
@@ -771,8 +835,14 @@ impl FaultSim {
         )
         .ack_for(PacketId(u64::MAX));
         if !self.fabric_drops(&ctrl) {
-            trace::span(trace::Layer::Transport, name, t, t + self.net(), 0);
-            self.queue.push(t + self.net(), ev);
+            let layer = if recovery {
+                self.counters.recovery_time += self.net();
+                trace::Layer::Recovery
+            } else {
+                trace::Layer::Transport
+            };
+            let s = trace::stage(layer, name, t, t + self.net(), 0, &[dep]);
+            self.queue.push(t + self.net(), make(s));
         } else {
             trace::instant(trace::Layer::Recovery, "ctrl_drop", t, 0);
         }
@@ -793,7 +863,7 @@ impl FaultSim {
         }
         let pkt = Packet::message(PacketId(msg), PacketKind::Send, NodeId(0), NodeId(1), 8);
         let psn = self.rc_tx.send(pkt, nic_time);
-        self.launch(msg, psn, &pkt, nic_time, dep);
+        self.launch(msg, psn, &pkt, nic_time, dep, false);
         self.arm_timer(nic_time);
     }
 
@@ -835,6 +905,10 @@ impl FaultSim {
             // The target CPU was still reaping an earlier message: the
             // wait joins the DMA completion with the previous reap — the
             // one point where inter-message edges exist on this path.
+            // Queueing behind a recovery-induced delivery burst is stall
+            // time, so it accrues to the recovery ledger like every other
+            // recovery-track stage.
+            self.counters.recovery_time += reap_start.since(in_memory);
             trace::stage(
                 trace::Layer::Recovery,
                 "reap_wait",
@@ -859,7 +933,11 @@ impl FaultSim {
         self.target_cpu_span =
             trace::stage(trace::Layer::Hlp, "HLP_rx_prog", llp_done, done, msg, &[lp]);
         self.target_cpu_free = done;
-        let latency = done.since(self.post_time[msg as usize]).as_ns_f64();
+        let latency_dur = done.since(self.post_time[msg as usize]);
+        // Per-message latency feeds the metrics registry (when one is
+        // collecting) — the e2e distribution behind `repro metrics`.
+        bband_metrics::record("e2e_latency", latency_dur);
+        let latency = latency_dur.as_ns_f64();
         self.completed += 1;
         self.lat_sum_ns += latency;
         self.lat_min_ns = self.lat_min_ns.min(latency);
@@ -871,7 +949,7 @@ impl FaultSim {
     fn relaunch(&mut self, resends: Vec<(Psn, Packet)>, now: SimTime, dep: trace::SpanId) {
         for (psn, pkt) in resends {
             let msg = pkt.id.0;
-            self.launch(msg, psn, &pkt, now, dep);
+            self.launch(msg, psn, &pkt, now, dep, true);
         }
         self.arm_timer(now);
     }
@@ -892,39 +970,54 @@ impl FaultSim {
                 Ev::PktArrive { msg, psn, dep } => match self.rc_rx.on_packet(psn) {
                     RcVerdict::Deliver { ack } => {
                         self.deliver(msg, t, dep);
-                        self.launch_ctrl(t, "ack_flight", Ev::AckArrive { psn: ack });
+                        self.launch_ctrl(t, "ack_flight", false, dep, |_| Ev::AckArrive {
+                            psn: ack,
+                        });
                     }
                     RcVerdict::Nak { expected } => {
-                        self.launch_ctrl(t, "nak_flight", Ev::NakArrive { psn: expected });
+                        self.launch_ctrl(t, "nak_flight", true, dep, |s| Ev::NakArrive {
+                            psn: expected,
+                            dep: s,
+                        });
                     }
                     RcVerdict::DuplicateAck { ack } => {
-                        self.launch_ctrl(t, "ack_flight", Ev::AckArrive { psn: ack });
+                        self.launch_ctrl(t, "ack_flight", false, dep, |_| Ev::AckArrive {
+                            psn: ack,
+                        });
                     }
                 },
                 Ev::AckArrive { psn } => {
                     self.rc_tx.on_ack(psn);
                     self.arm_timer(t);
                 }
-                Ev::NakArrive { psn } => {
-                    // NAK recovery costs one fabric round trip beyond the
-                    // fault-free path.
-                    self.counters.recovery_time += self.net() * 2;
+                Ev::NakArrive { psn, dep } => {
+                    // Go-back-N resends chain after the NAK flight that
+                    // provoked them; their recovery cost accrues where the
+                    // retransmitted legs are recorded, in `launch`.
                     let resends = self.rc_tx.on_nak(psn, t);
-                    self.relaunch(resends, t, trace::SpanId::NONE);
+                    self.relaunch(resends, t, dep);
                 }
                 Ev::Timer => match self.rc_tx.next_deadline() {
                     Some(deadline) if deadline <= t => {
                         let backoff = self.rc_tx.effective_timeout();
                         self.counters.recovery_time += backoff;
                         // The backoff gap the oldest packet waited out,
-                        // ending at the timer firing.
+                        // ending at the timer firing. It happens after the
+                        // oldest unacked packet's last transmission attempt
+                        // (often a drop marker) — the DAG can then name the
+                        // attempt each backoff waited on.
+                        let gap_dep = self
+                            .rc_tx
+                            .oldest_unacked()
+                            .and_then(|(psn, _)| self.psn_launch.get(psn.0 as usize).copied())
+                            .unwrap_or(trace::SpanId::NONE);
                         let gap = trace::stage(
                             trace::Layer::Recovery,
                             "rto_backoff",
                             t - backoff,
                             t,
                             self.rc_tx.front_retries() as u64 + 1,
-                            &[],
+                            &[gap_dep],
                         );
                         let resends = self.rc_tx.on_timer(t);
                         if self.rc_tx.front_retries() > self.plan.retry.max_retries {

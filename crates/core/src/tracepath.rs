@@ -37,6 +37,8 @@ use crate::breakdown::Breakdown;
 use crate::calibration::Calibration;
 use crate::fault::{run_raw, FaultPlan, FaultRunStats, LossPoint, RetryExhausted};
 use crate::injection::InjectionModel;
+use bband_metrics as metrics;
+use bband_metrics::MetricsSet;
 use bband_sim::{Pcg64, SimDuration, SimTime, WorkerPool};
 use bband_trace as trace;
 use bband_trace::{CriticalPath, DagError, Trace};
@@ -159,6 +161,55 @@ pub fn traced_injection(cal: &Calibration, messages: u64) -> (SimDuration, Trace
         t.since(SimTime::ZERO)
     });
     (elapsed, Trace::from_task(task))
+}
+
+/// Feed a finished run's per-layer recovery counters into the metrics
+/// registry as named counters (no-op unless a collector is live).
+fn feed_recovery_counters(stats: &FaultRunStats) {
+    let k = &stats.counters;
+    metrics::counter("completed", stats.completed);
+    metrics::counter("rc_retransmissions", k.rc_retransmissions);
+    metrics::counter("rc_naks", k.rc_naks);
+    metrics::counter("rc_timeouts", k.rc_timeouts);
+    metrics::counter("dll_nacks", k.dll_nacks);
+    metrics::counter("dll_replays", k.dll_replays);
+    metrics::counter("replay_stalls", k.replay_stalls);
+    metrics::counter("credit_stalls", k.credit_stalls);
+    metrics::counter("nic_stalls", k.nic_stalls);
+    metrics::counter("recovery_time_ps", k.recovery_time.as_ps());
+}
+
+/// The `repro metrics` run: `tasks` independent fault simulations fanned
+/// out over the pool, each recording every traced stage duration, its
+/// per-message end-to-end latency, and its recovery counters into a
+/// per-task metrics registry. Registries merge by task index —
+/// [`MetricsSet::from_tasks`] — so serial and pooled runs produce
+/// identical sets. The span rings themselves are small and discarded:
+/// only the histograms leave the tasks, which is what lets this scale to
+/// message counts a retained trace could not.
+pub fn metered_e2e(
+    cal: &Calibration,
+    plan: &FaultPlan,
+    messages_per_task: u64,
+    tasks: u64,
+    seed: u64,
+    pool: &WorkerPool,
+) -> (Vec<(FaultRunStats, Option<RetryExhausted>)>, MetricsSet) {
+    let idxs: Vec<u64> = (0..tasks).collect();
+    let results = pool.map(idxs, |idx, _| {
+        let task_seed = Pcg64::new(seed).fork(idx as u64).next_u64();
+        metrics::collect(|| {
+            // Tracing must be live for the stage stream to exist; a small
+            // ring that freely wraps keeps the memory flat — the
+            // histograms, not the spans, are this run's product.
+            let (run, _spans) =
+                trace::collect(1 << 12, || run_raw(cal, plan, messages_per_task, task_seed));
+            feed_recovery_counters(&run.0);
+            run
+        })
+    });
+    let (runs, metric_tasks): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    (runs, MetricsSet::from_tasks(metric_tasks))
 }
 
 /// Guard a reconstruction against ring wrap: a truncated trace must fail
@@ -386,5 +437,184 @@ mod tests {
         let untraced = crate::fault::run_e2e_under_faults(&c, &plan, 100, 7).unwrap();
         let (traced, _) = traced_e2e(&c, &plan, 100, 7);
         assert_eq!(untraced, traced.unwrap());
+    }
+
+    /// **Recovery-attribution exactness**: every recovery mechanism
+    /// accrues its counter time exactly where it records its recovery
+    /// span, so the trace's Recovery-layer total equals the run's
+    /// `recovery_time` counter bit-exactly in integer picoseconds — the
+    /// span DAG and the counter ledger are one bookkeeping, not two.
+    #[test]
+    fn recovery_spans_account_for_the_counter_ledger_bit_exactly() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        plan.loss_probability = 0.03;
+        plan.corruption_probability = 0.01;
+        let (res, t) = traced_e2e(&c, &plan, 300, 11);
+        let stats = res.unwrap();
+        assert_eq!(t.dropped(), 0, "ring must not wrap");
+        assert!(!stats.counters.is_clean());
+        assert_eq!(
+            recovery_total(&t),
+            stats.counters.recovery_time,
+            "recovery spans and the recovery-time counter must agree"
+        );
+        // The retransmitted legs are visible by name on the recovery
+        // track, distinct from the nominal wire/switch slices.
+        assert!(t.spans().any(|(_, s)| s.name == "Wire(retx)"));
+        assert!(t
+            .spans()
+            .any(|(_, s)| s.name == "nak_flight" && s.layer == trace::Layer::Recovery));
+    }
+
+    /// The lossy DAG names recovery: the critical path splits into
+    /// nominal and recovery exposed time, and each completed message's
+    /// chain can name the single worst recovery span that lengthened it.
+    #[test]
+    fn lossy_critical_path_attributes_recovery() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        plan.loss_probability = 0.05;
+        let (res, t) = traced_e2e(&c, &plan, 200, 42);
+        res.unwrap();
+        let cp = reconstruct(&t).unwrap();
+        let split = cp.recovery_split();
+        assert_eq!(
+            split.nominal_exposed + split.recovery_exposed,
+            cp.length,
+            "the split partitions the critical path"
+        );
+        assert!(
+            split.recovery_exposed > SimDuration::ZERO,
+            "5% loss must expose recovery time on the critical path"
+        );
+        assert_eq!(split.recovery_total, recovery_total(&t));
+        let msgs = trace::per_message_attribution(&t, "HLP_rx_prog").unwrap();
+        assert_eq!(msgs.len(), 200, "one chain per completed message");
+        let worst = msgs.iter().max_by_key(|m| m.recovery).unwrap();
+        assert!(worst.recovery > SimDuration::ZERO);
+        let (name, dur) = worst.worst.expect("a lossy chain names its worst span");
+        assert!(dur > SimDuration::ZERO);
+        assert!(
+            [
+                "rto_backoff",
+                "nak_flight",
+                "Wire(retx)",
+                "Switch(retx)",
+                "reap_wait"
+            ]
+            .contains(&name),
+            "unexpected worst offender {name}"
+        );
+        // Clean chains exist too and carry no recovery.
+        assert!(msgs
+            .iter()
+            .any(|m| m.recovery == SimDuration::ZERO && m.worst.is_none()));
+    }
+
+    /// `metered_e2e` is pool-invariant: serial and pooled runs merge to
+    /// the same [`MetricsSet`] value (the rendered/exported forms are
+    /// byte-identical because this value is identical).
+    #[test]
+    fn metered_e2e_is_pool_invariant() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        plan.loss_probability = 0.01;
+        let (runs_a, set_a) = metered_e2e(&c, &plan, 50, 4, 0x5EED, &WorkerPool::with_threads(1));
+        let (runs_b, set_b) = metered_e2e(&c, &plan, 50, 4, 0x5EED, &WorkerPool::with_threads(4));
+        assert_eq!(runs_a, runs_b);
+        assert_eq!(set_a, set_b);
+        assert_eq!(set_a.counter_value("completed"), 200);
+        let e2e = set_a.hist("e2e_latency").expect("per-message latencies");
+        assert_eq!(e2e.count, 200);
+    }
+
+    /// On a zero-fault metered run every stage histogram is a spike at
+    /// the calibrated mean: p50 == p99.9 == the model component.
+    #[test]
+    fn zero_fault_metered_quantiles_are_the_calibrated_means() {
+        let c = cal();
+        let model = EndToEndLatencyModel::from_calibration(&c);
+        let (_, set) = metered_e2e(
+            &c,
+            &FaultPlan::none(),
+            32,
+            2,
+            0x5EED,
+            &WorkerPool::with_threads(2),
+        );
+        let e2e = set.hist("e2e_latency").unwrap();
+        assert_eq!(e2e.count, 64);
+        assert_eq!(e2e.min, model.total().as_ps());
+        assert_eq!(e2e.max, model.total().as_ps());
+        for q in [0.5, 0.95, 0.999] {
+            assert_eq!(e2e.quantile(q), model.total().as_ps() as f64, "q={q}");
+        }
+        for (name, dur) in model.breakdown().items() {
+            let h = set.hist(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(h.min, dur.as_ps(), "{name} min");
+            assert_eq!(h.max, dur.as_ps(), "{name} max");
+        }
+        assert_eq!(set.counter_value("rc_retransmissions"), 0);
+        assert_eq!(set.counter_value("recovery_time_ps"), 0);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        /// A lossy run's critical path is never shorter than the
+        /// zero-fault chain, and the exposed recovery time accounts for
+        /// the difference up to bounded nominal slack: a retransmitted
+        /// final hop removes at most one wire+switch of nominal time, and
+        /// each reap-wait join on the path can splice in at most one
+        /// extra message's nominal chain.
+        #[test]
+        fn lossy_critical_path_dominates_zero_fault(
+            seed in 0u64..1u64 << 32,
+            loss_mille in 1u64..60,
+        ) {
+            let c = cal();
+            let model = EndToEndLatencyModel::from_calibration(&c);
+            let (res0, t0) = traced_e2e(&c, &FaultPlan::none(), 48, seed);
+            res0.unwrap();
+            let cp0 = reconstruct(&t0).unwrap();
+            prop_assert_eq!(cp0.length, model.total());
+
+            let mut plan = FaultPlan::none();
+            plan.loss_probability = loss_mille as f64 / 1000.0;
+            let (res, t) = traced_e2e(&c, &plan, 48, seed);
+            res.unwrap();
+            let cp = reconstruct(&t).unwrap();
+            prop_assert!(
+                cp.length >= cp0.length,
+                "lossy CP {} < zero-fault CP {}", cp.length, cp0.length
+            );
+
+            let split = cp.recovery_split();
+            prop_assert_eq!(
+                split.nominal_exposed + split.recovery_exposed,
+                cp.length
+            );
+            let diff = cp.length - cp0.length;
+            let net = c.wire() + c.switch();
+            // Upper slack: nominal exposed can fall short of the
+            // zero-fault chain by at most one wire+switch (retx hop).
+            prop_assert!(
+                split.recovery_exposed <= diff + net,
+                "recovery exposed {} > diff {} + net {}",
+                split.recovery_exposed, diff, net
+            );
+            // Lower slack: reap-wait joins splice nominal time in.
+            let reap_links = cp
+                .stage("reap_wait")
+                .map_or(0, |s| s.exposed_count);
+            let slack = net + model.total() * reap_links;
+            prop_assert!(
+                split.recovery_exposed + slack >= diff,
+                "recovery exposed {} + slack {} < diff {}",
+                split.recovery_exposed, slack, diff
+            );
+        }
     }
 }

@@ -107,6 +107,13 @@ pub struct UcpWorker {
     /// posted to the NIC, like UCX's pre-posted RQ).
     rx_pool_target: u32,
     rx_pool_posted: u32,
+    /// Start of the earliest untaken UCP receive callback, so the MPI
+    /// layer above can bracket the paper's aggregate `HLP_rx_prog` slice
+    /// (UCP callback + MPICH callback + wait epilogue) around it.
+    recv_cb_start: Option<SimTime>,
+    /// End of the most recent `tag_send_nb`'s UCP-level send work (before
+    /// the transport post), closing MPI's aggregate `HLP_post` bracket.
+    tag_send_end: Option<SimTime>,
     /// Diagnostics: busy posts rescheduled through the pending queue.
     pub rescheduled_sends: u64,
 }
@@ -136,6 +143,8 @@ impl UcpWorker {
             pending_ctrl: VecDeque::new(),
             rx_pool_target: 64,
             rx_pool_posted: 0,
+            recv_cb_start: None,
+            tag_send_end: None,
             rescheduled_sends: 0,
         }
     }
@@ -172,6 +181,26 @@ impl UcpWorker {
         r
     }
 
+    /// Take (and clear) the start time of the earliest receive callback
+    /// run since the last call. The MPI layer uses this to emit the
+    /// paper's aggregate `HLP_rx_prog` span: from the UCP callback's
+    /// start through MPICH's callback and wait epilogue.
+    pub fn take_recv_cb_start(&mut self) -> Option<SimTime> {
+        self.recv_cb_start.take()
+    }
+
+    fn note_recv_cb(&mut self, t0: SimTime) {
+        self.recv_cb_start.get_or_insert(t0);
+    }
+
+    /// Take (and clear) the instant the most recent `tag_send_nb`
+    /// finished its UCP-level send work — before any transport post — so
+    /// MPI can close its aggregate `HLP_post` span there instead of
+    /// folding `LLP_post` into the HLP slice.
+    pub fn take_tag_send_end(&mut self) -> Option<SimTime> {
+        self.tag_send_end.take()
+    }
+
     /// Keep the transport-level receive pool full (UCX pre-posts receive
     /// buffers for active messages; MPI tag matching happens in software
     /// above them).
@@ -195,11 +224,14 @@ impl UcpWorker {
         tag: u64,
         tap: &mut dyn LinkTap,
     ) -> ReqId {
-        // UCP's own send-path work (2.19 ns).
+        // UCP's own send-path work (2.19 ns). The span carries UCP's own
+        // name; the MPI layer above emits the paper's aggregate `HLP_post`
+        // slice (MPICH + UCP) bracketing this.
         let t0 = self.uct.now();
         let d = self.costs.tag_send;
         self.uct.cpu_mut().advance(d);
-        trace::span(trace::Layer::Hlp, "HLP_post", t0, self.uct.now(), tag);
+        self.tag_send_end = Some(self.uct.now());
+        trace::span(trace::Layer::Hlp, "ucp.tag_send", t0, self.uct.now(), tag);
         let req = self.alloc_req();
         self.last_dst = Some(dst);
         if payload >= self.rndv_threshold {
@@ -379,7 +411,8 @@ impl UcpWorker {
             let t0 = self.uct.now();
             let d = self.costs.recv_callback;
             self.uct.cpu_mut().advance(d);
-            trace::span(trace::Layer::Hlp, "HLP_rx_prog", t0, self.uct.now(), 0);
+            self.note_recv_cb(t0);
+            trace::span(trace::Layer::Hlp, "ucp.recv_cb", t0, self.uct.now(), 0);
             events.push(ev);
         }
         // Emit deferred protocol control messages (e.g. CTS for an RTS
@@ -480,9 +513,10 @@ impl UcpWorker {
                     let t0 = self.uct.now();
                     let d = self.costs.recv_callback;
                     self.uct.cpu_mut().advance(d);
+                    self.note_recv_cb(t0);
                     trace::span(
                         trace::Layer::Hlp,
-                        "HLP_rx_prog",
+                        "ucp.recv_cb",
                         t0,
                         self.uct.now(),
                         cqe.tag,
@@ -567,9 +601,10 @@ impl UcpWorker {
                 let t0 = self.uct.now();
                 let d = self.costs.recv_callback;
                 self.uct.cpu_mut().advance(d);
+                self.note_recv_cb(t0);
                 trace::span(
                     trace::Layer::Hlp,
-                    "HLP_rx_prog",
+                    "ucp.recv_cb",
                     t0,
                     self.uct.now(),
                     rndv_id as u64,
@@ -648,7 +683,8 @@ impl UcpWorker {
             let t0 = self.uct.now();
             let d = self.costs.recv_callback;
             self.uct.cpu_mut().advance(d);
-            trace::span(trace::Layer::Hlp, "HLP_rx_prog", t0, self.uct.now(), tag);
+            self.note_recv_cb(t0);
+            trace::span(trace::Layer::Hlp, "ucp.recv_cb", t0, self.uct.now(), tag);
             let payload = match matched {
                 ArrivedMsg::Eager(c) => c.payload,
                 ArrivedMsg::Rts { .. } => unreachable!(),

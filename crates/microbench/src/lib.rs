@@ -33,5 +33,5 @@ pub use osu::{
     osu_latency, osu_message_rate, OsuLatConfig, OsuLatReport, OsuMrConfig, OsuMrReport,
 };
 pub use put_bw::{put_bw, PutBwConfig, PutBwReport};
-pub use traced::{traced_am_lat, traced_osu_latency, traced_put_bw};
+pub use traced::{traced_am_lat, traced_multicore, traced_osu_latency, traced_put_bw};
 pub use ucp_lat::{eager_rndv_sweep, ucp_latency, UcpLatConfig};

@@ -15,6 +15,7 @@
 //! worth of stages on every layer with 2× headroom.
 
 use crate::am_lat::{am_lat, AmLatConfig, AmLatReport};
+use crate::multicore::{multicore_injection, MulticoreConfig, MulticoreReport};
 use crate::osu::{osu_latency, OsuLatConfig, OsuLatReport};
 use crate::put_bw::{put_bw, PutBwConfig, PutBwReport};
 use bband_trace::{self as trace, Trace};
@@ -57,6 +58,24 @@ pub fn traced_osu_latency(cfg: &OsuLatConfig) -> (OsuLatReport, Trace) {
     // span rate is well above put_bw's, so budget extra headroom.
     let cap = ring_capacity((cfg.warmup + cfg.iterations).saturating_mul(4));
     let (report, task) = trace::collect(cap, || osu_latency(cfg));
+    (report, Trace::from_task(task))
+}
+
+/// Run [`multicore_injection`] with stage tracing enabled.
+///
+/// Each core's `LLP_post`/`busy_post`/`LLP_prog` spans form that core's
+/// serial CPU spine, while every core's MMIO writes funnel through the one
+/// root complex: a write that parks for posted-write credits records a
+/// `credit_wait` recovery stage chained after both its own core and the
+/// RC's previous departure. On a starved pool the DAG critical path
+/// therefore threads *across* cores through the shared RC track, and the
+/// credit stalls show up as exposed recovery time — the congestion the
+/// paper scopes out of its single-core model (§4.2), made attributable.
+pub fn traced_multicore(cfg: &MulticoreConfig) -> (MulticoreReport, Trace) {
+    let units = cfg
+        .messages_per_core
+        .saturating_mul(u64::from(cfg.cores.max(1)));
+    let (report, task) = trace::collect(ring_capacity(units), || multicore_injection(cfg));
     (report, Trace::from_task(task))
 }
 
@@ -148,6 +167,78 @@ mod tests {
             ratio > 0.45,
             "ping-pong should expose most stage time, got {ratio:.2}"
         );
+    }
+
+    fn starved_mc_cfg() -> MulticoreConfig {
+        MulticoreConfig {
+            stack: StackConfig::validation(),
+            cores: 8,
+            messages_per_core: 300,
+            ring_depth: 16,
+            // 4 header credits replenished 2 at a time: 8 concurrent
+            // posters must park MMIO writes at the RC.
+            credits: Some((4, 64, 2)),
+            stalls: None,
+        }
+    }
+
+    #[test]
+    fn starved_multicore_exposes_credit_waits_on_the_critical_path() {
+        let (report, trace) = traced_multicore(&starved_mc_cfg());
+        assert!(report.rc_stalled, "the starved pool must stall");
+        assert_eq!(trace.dropped(), 0, "ring sized to never wrap");
+        let cp = critical_path(&trace).unwrap();
+        let wait = cp.stage("credit_wait").expect("parked writes recorded");
+        assert!(
+            wait.exposed > SimDuration::ZERO,
+            "credit starvation must surface as exposed recovery time"
+        );
+        let split = cp.recovery_split();
+        assert!(split.recovery_exposed >= wait.exposed);
+        assert_eq!(split.nominal_exposed + split.recovery_exposed, cp.length);
+        // Per-core spines are present alongside the shared RC track.
+        assert!(cp.stage("LLP_post").is_some());
+        assert!(cp.stage("TX PCIe").is_some());
+    }
+
+    #[test]
+    fn multicore_stall_ledger_matches_the_recovery_track_bit_exactly() {
+        // The cluster accrues stall time exactly where it records its
+        // recovery-track stages, so the trace's Recovery-layer total and
+        // the counters' recovery_time agree in integer picoseconds — the
+        // same single-bookkeeping invariant the fault engine holds.
+        let (report, trace) = traced_multicore(&MulticoreConfig {
+            stalls: Some((4_000.0, 2_000.0)),
+            ..starved_mc_cfg()
+        });
+        assert!(report.counters.credit_stalls > 0);
+        assert!(report.counters.nic_stalls > 0);
+        let recovery: SimDuration = trace
+            .spans()
+            .filter(|(_, s)| s.layer == bband_trace::Layer::Recovery)
+            .map(|(_, s)| s.dur)
+            .fold(SimDuration::ZERO, |a, d| a + d);
+        assert_eq!(recovery, report.counters.recovery_time);
+        assert!(recovery > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unstarved_multicore_records_no_recovery_stages() {
+        let (report, trace) = traced_multicore(&MulticoreConfig {
+            stack: StackConfig::validation(),
+            cores: 4,
+            messages_per_core: 200,
+            ring_depth: 16,
+            credits: None,
+            stalls: None,
+        });
+        assert!(!report.rc_stalled);
+        assert!(report.counters.is_clean());
+        assert!(!trace
+            .spans()
+            .any(|(_, s)| s.layer == bband_trace::Layer::Recovery && !s.is_instant()));
+        let cp = critical_path(&trace).unwrap();
+        assert_eq!(cp.recovery_split().recovery_exposed, SimDuration::ZERO);
     }
 
     #[test]

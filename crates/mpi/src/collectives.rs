@@ -20,6 +20,7 @@ use bband_hlp::{UcpCosts, UcpWorker};
 use bband_llp::{LlpCosts, Worker};
 use bband_nic::{Cluster, NicConfig};
 use bband_pcie::{LinkTap, NullTap};
+use bband_profiling::RecoveryCounters;
 use bband_sim::{SimTime, WorkerPool};
 
 /// Which collective to run.
@@ -40,6 +41,10 @@ pub struct CollectiveReport {
     pub completion: SimTime,
     /// Rounds executed (= ⌈log₂N⌉).
     pub rounds: u32,
+    /// Recovery engagement observed by the cluster over the whole job so
+    /// far (credit-starved RCs parking MMIO writes, Markov stall windows).
+    /// Clean unless a `--faults` plan's credit/stall overrides apply.
+    pub counters: RecoveryCounters,
 }
 
 #[derive(Debug)]
@@ -166,13 +171,23 @@ pub fn run_collective(
     CollectiveReport {
         completion: end,
         rounds,
+        counters: cluster.recovery_counters(),
     }
 }
 
 /// Build a deterministic `n`-rank job (cluster + initialized MPI ranks)
 /// for the scaling driver. Seeding is a pure function of `(seed, rank)`,
-/// so two jobs built with the same arguments are identical.
-fn deterministic_job(n: u32, seed: u64) -> (Cluster, Vec<MpiProcess>) {
+/// so two jobs built with the same arguments are identical. `credits`
+/// shrinks the RC posted-credit pools to `(hdr, data, update_batch)` and
+/// `stalls` parks the NICs in a correlated Markov process of
+/// `(mean_up_ns, mean_down_ns)` — the live fabric's two fault knobs (it
+/// has no lossy wire; loss plans only reach the fault engine).
+fn deterministic_job(
+    n: u32,
+    seed: u64,
+    credits: Option<(u32, u32, u32)>,
+    stalls: Option<(f64, f64)>,
+) -> (Cluster, Vec<MpiProcess>) {
     let mut cluster = Cluster::new(
         n as usize,
         NetworkModel::paper_default(),
@@ -180,6 +195,12 @@ fn deterministic_job(n: u32, seed: u64) -> (Cluster, Vec<MpiProcess>) {
         seed,
     )
     .deterministic();
+    if let Some((hdr, data, update_batch)) = credits {
+        cluster = cluster.with_credits(hdr, data, update_batch);
+    }
+    if let Some((up, down)) = stalls {
+        cluster.set_markov_stalls(up, down, seed ^ 0x3A11);
+    }
     let mut tap = NullTap;
     let ranks: Vec<MpiProcess> = (0..n)
         .map(|i| {
@@ -210,8 +231,23 @@ pub fn collective_scaling(
     op: Collective,
     seed: u64,
 ) -> Vec<(u32, CollectiveReport)> {
+    collective_scaling_with(rank_counts, op, seed, None, None)
+}
+
+/// [`collective_scaling`] under an optional posted-credit override and/or
+/// a correlated NIC-stall process (the `--faults` plan's live-fabric
+/// knobs). Each report carries the cluster's [`RecoveryCounters`], so a
+/// starved configuration shows credit stalls alongside its completion
+/// time.
+pub fn collective_scaling_with(
+    rank_counts: &[u32],
+    op: Collective,
+    seed: u64,
+    credits: Option<(u32, u32, u32)>,
+    stalls: Option<(f64, f64)>,
+) -> Vec<(u32, CollectiveReport)> {
     WorkerPool::new().map(rank_counts.to_vec(), |_, n| {
-        let (mut cluster, mut ranks) = deterministic_job(n, seed);
+        let (mut cluster, mut ranks) = deterministic_job(n, seed, credits, stalls);
         let mut tap = NullTap;
         let report = run_collective(&mut cluster, &mut ranks, op, &mut tap);
         (n, report)
@@ -333,7 +369,7 @@ mod tests {
         let counts = [2u32, 4, 8];
         let pooled = collective_scaling(&counts, Collective::Barrier, 9);
         for &(n, ref rep) in &pooled {
-            let (mut cl, mut ranks) = super::deterministic_job(n, 9);
+            let (mut cl, mut ranks) = super::deterministic_job(n, 9, None, None);
             let mut tap = NullTap;
             let serial = run_collective(&mut cl, &mut ranks, Collective::Barrier, &mut tap);
             assert_eq!(rep.completion, serial.completion, "{n} ranks");
@@ -345,6 +381,43 @@ mod tests {
             vec![1, 2, 3]
         );
         assert!(pooled[2].1.completion > pooled[0].1.completion);
+    }
+
+    #[test]
+    fn starved_credits_engage_recovery_and_slow_the_collective() {
+        // Inline payloads (<= 256 B) ride BlueFlame as ~5 PIO chunks per
+        // post, so a one-header-credit pool has to park some of them at
+        // the RC. (Larger payloads fall back to a single-chunk descriptor
+        // the NIC DMA-reads, which a serial rank never backs up.)
+        let counts = [8u32];
+        let op = Collective::Allreduce { bytes: 240 };
+        let clean = collective_scaling(&counts, op, 9);
+        assert!(clean[0].1.counters.is_clean(), "default pools never stall");
+        let starved = collective_scaling_with(&counts, op, 9, Some((1, 8, 1)), None);
+        assert!(
+            starved[0].1.counters.credit_stalls > 0,
+            "a one-header-credit pool must park MMIO writes: {:?}",
+            starved[0].1.counters
+        );
+        assert!(
+            starved[0].1.completion >= clean[0].1.completion,
+            "parked doorbells cannot make the collective faster"
+        );
+    }
+
+    #[test]
+    fn markov_stalls_surface_in_the_report() {
+        // Mostly-down NICs: every rank's sends cross stall windows.
+        let rep = collective_scaling_with(
+            &[8u32],
+            Collective::Allreduce { bytes: 4096 },
+            9,
+            None,
+            Some((500.0, 2_000.0)),
+        );
+        let k = &rep[0].1.counters;
+        assert!(k.nic_stalls > 0, "stall windows must engage: {k:?}");
+        assert!(k.recovery_time > bband_sim::SimDuration::ZERO);
     }
 
     #[test]

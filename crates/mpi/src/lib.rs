@@ -24,6 +24,9 @@ pub mod collectives;
 pub mod costs;
 pub mod proc;
 
-pub use collectives::{barrier, collective_scaling, run_collective, Collective, CollectiveReport};
+pub use collectives::{
+    barrier, collective_scaling, collective_scaling_with, run_collective, Collective,
+    CollectiveReport,
+};
 pub use costs::MpiCosts;
 pub use proc::{MpiProcess, MpiRequest, RequestState, ANY_TAG};

@@ -7,6 +7,7 @@ use bband_hlp::{TagMask, UcpEvent, UcpWorker};
 use bband_nic::Cluster;
 use bband_pcie::LinkTap;
 use bband_sim::SimTime;
+use bband_trace as trace;
 use std::collections::HashMap;
 
 /// MPI_ANY_TAG.
@@ -99,10 +100,16 @@ impl MpiProcess {
         tap: &mut dyn LinkTap,
     ) -> MpiRequest {
         assert!(tag >= 0, "send tags must be concrete");
-        // MPICH's own send-path work (24.37 ns), then into UCP.
+        // MPICH's own send-path work (24.37 ns), then into UCP. The
+        // bracket is the paper's aggregate `HLP_post` slice (MPICH + UCP
+        // send-side work, 26.56 ns for an 8-byte eager message), named to
+        // match the fault engine's stage so `trace_diff` can compare them.
+        let t0 = self.now();
         let d = self.costs.isend;
         self.ucp.uct_mut().cpu_mut().advance(d);
         let ucp_req = self.ucp.tag_send_nb(cluster, dst, payload, tag as u64, tap);
+        let hlp_end = self.ucp.take_tag_send_end().unwrap_or_else(|| self.now());
+        trace::span(trace::Layer::Hlp, "HLP_post", t0, hlp_end, tag as u64);
         self.alloc(ucp_req)
     }
 
@@ -154,6 +161,12 @@ impl MpiProcess {
     pub fn wait(&mut self, cluster: &mut Cluster, req: MpiRequest, tap: &mut dyn LinkTap) {
         let d = self.costs.wait_prologue;
         self.ucp.uct_mut().cpu_mut().advance(d);
+        // Bracket for the paper's aggregate `HLP_rx_prog` slice: from the
+        // start of the UCP receive callback of the batch that completed
+        // the request, through MPICH's callback, to past the epilogue
+        // (139.78 + 47.99 + 36.89 = 224.66 ns for an 8-byte message).
+        self.ucp.take_recv_cb_start();
+        let mut rx_start = None;
         loop {
             if self.state(req) == RequestState::Complete {
                 break;
@@ -180,10 +193,17 @@ impl MpiProcess {
                 }
             } else {
                 self.absorb(&events, false);
+                // Each absorbed batch supersedes the last: if the final
+                // batch completed a receive, its callback start opens the
+                // aggregate span; a send-only batch clears it.
+                rx_start = self.ucp.take_recv_cb_start();
             }
         }
         let d = self.costs.wait_epilogue;
         self.ucp.uct_mut().cpu_mut().advance(d);
+        if let Some(t0) = rx_start {
+            trace::span(trace::Layer::Hlp, "HLP_rx_prog", t0, self.now(), req.0);
+        }
     }
 
     /// Blocking `MPI_Waitall` over send requests, with the batched progress

@@ -26,7 +26,7 @@ use bband_pcie::{
     Dllp, FlowControl, LinkDirection, LinkModel, LinkTap, RcAction, RootComplex, Tlp, TlpId,
     TlpPurpose,
 };
-use bband_sim::{EventQueue, Pcg64, SimTime, StallSchedule};
+use bband_sim::{EventQueue, Pcg64, SimDuration, SimTime, StallSchedule};
 use bband_trace as trace;
 use std::collections::{HashMap, VecDeque};
 
@@ -170,6 +170,17 @@ pub struct Cluster {
     /// Happens-after cause of each in-flight network packet (traced runs
     /// only).
     pkt_cause: HashMap<PacketId, trace::SpanId>,
+    /// When each credit-parked MMIO write entered the RC's pending queue —
+    /// the start of its `credit_wait` stage (and of the stall-time accrual).
+    stalled_at: HashMap<TlpId, SimTime>,
+    /// Per-node span of the RC's most recent downstream TLP departure: the
+    /// shared RC track. Credit waits chain after it, so a starved pool
+    /// shows up in the DAG as cross-core edges through one serialised RC.
+    rc_track: Vec<trace::SpanId>,
+    /// Virtual time lost to stall machinery (credit waits + Markov stall
+    /// windows) — accrued exactly where the recovery-track stages are
+    /// recorded, so it equals the trace's Recovery-layer total bit-exactly.
+    stall_time: SimDuration,
 }
 
 impl Cluster {
@@ -199,6 +210,9 @@ impl Cluster {
             nic_stalls: 0,
             tlp_cause: HashMap::new(),
             pkt_cause: HashMap::new(),
+            stalled_at: HashMap::new(),
+            rc_track: vec![trace::SpanId::NONE; n_nodes],
+            stall_time: SimDuration::ZERO,
         }
     }
 
@@ -305,6 +319,7 @@ impl Cluster {
         let mut k = bband_profiling::RecoveryCounters::new();
         k.credit_stalls = self.nodes.iter().map(|n| n.rc.stalled_issues).sum();
         k.nic_stalls = self.nic_stalls;
+        k.recovery_time = self.stall_time;
         k
     }
 
@@ -412,6 +427,7 @@ impl Cluster {
         n.nic.occupancy += 1;
         let mut actions = Vec::new();
         let mut posted_ids: Vec<TlpId> = Vec::new();
+        let mut parked_ids: Vec<TlpId> = Vec::new();
         let traced = trace::enabled() && !cause.is_none();
         if desc.pio {
             let op = n.nic.next_pio_op;
@@ -430,7 +446,13 @@ impl Cluster {
                 if traced {
                     posted_ids.push(tlp.id);
                 }
+                let before = actions.len();
                 actions.extend(n.rc.mmio_write(now, tlp));
+                if actions.len() == before {
+                    // Parked for credits: remember when, for the
+                    // `credit_wait` stage (and stall-time ledger) at release.
+                    parked_ids.push(tlp.id);
+                }
             }
         } else {
             // Doorbell path: one 8-byte MWr; the NIC will fetch the rest.
@@ -439,7 +461,14 @@ impl Cluster {
             if traced {
                 posted_ids.push(tlp.id);
             }
+            let before = actions.len();
             actions.extend(n.rc.mmio_write(now, tlp));
+            if actions.len() == before {
+                parked_ids.push(tlp.id);
+            }
+        }
+        for id in parked_ids {
+            self.stalled_at.insert(id, now);
         }
         for id in posted_ids {
             self.link_tlp(id, cause);
@@ -531,7 +560,28 @@ impl Cluster {
         for act in actions {
             match act {
                 RcAction::SendTlp { depart, tlp } => {
-                    let dep = self.tlp_dep(tlp.id);
+                    let mut dep = self.tlp_dep(tlp.id);
+                    if let Some(parked) = self.stalled_at.remove(&tlp.id) {
+                        if depart > parked {
+                            // The write waited for UpdateFC: a recovery-track
+                            // stage spanning park→release, chained after both
+                            // the core that issued it and the RC's previous
+                            // departure — the shared track that serialises
+                            // every core through the one credit pool.
+                            self.stall_time += depart.since(parked);
+                            let wait = trace::stage(
+                                trace::Layer::Recovery,
+                                "credit_wait",
+                                parked,
+                                depart,
+                                tlp.id.0,
+                                &[dep, self.rc_track[node.0 as usize]],
+                            );
+                            if !wait.is_none() {
+                                dep = wait;
+                            }
+                        }
+                    }
                     let lat = {
                         let n = &mut self.nodes[node.0 as usize];
                         n.link.tlp_latency(&tlp, &mut n.link_rng)
@@ -544,6 +594,9 @@ impl Cluster {
                         tlp.id.0,
                         &[dep],
                     );
+                    if !span.is_none() {
+                        self.rc_track[node.0 as usize] = span;
+                    }
                     self.link_tlp(tlp.id, span);
                     self.queue
                         .push(depart + lat, HwEvent::TlpAtNic { node, tlp });
@@ -615,6 +668,7 @@ impl Cluster {
             let (resume, window) = sched.defer_with_window(now);
             if resume > now {
                 self.nic_stalls += 1;
+                self.stall_time += resume.since(now);
                 let w = window.map_or(0, |(s, _)| s.as_ps());
                 let stall = trace::stage(
                     trace::Layer::Recovery,

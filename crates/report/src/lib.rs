@@ -17,6 +17,7 @@ pub mod export;
 pub mod flame;
 pub mod hist;
 pub mod loss;
+pub mod metrics;
 pub mod table;
 
 pub use bars::render_bar;
@@ -25,4 +26,5 @@ pub use export::{breakdown_json, curves_json, distribution_json, to_json};
 pub use flame::{render_critical_path, render_flame};
 pub use hist::render_histogram;
 pub use loss::{loss_sweep_json, render_loss_sweep};
+pub use metrics::{metrics_json, render_quantiles, render_recovery_attribution};
 pub use table::render_table1;

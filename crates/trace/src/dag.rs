@@ -118,6 +118,129 @@ impl CriticalPath {
     pub fn stage(&self, name: &str) -> Option<&StageAttribution> {
         self.stages.iter().find(|s| s.name == name)
     }
+
+    /// Split the critical path into nominal vs recovery exposed time.
+    /// Purely layer-based: every recovery mechanism (backoff gaps, NAK
+    /// flights, retransmitted legs, replay windows, stalls) records on
+    /// [`Layer::Recovery`], so the split needs no name list and new
+    /// recovery stages are covered automatically.
+    pub fn recovery_split(&self) -> RecoverySplit {
+        let mut split = RecoverySplit::default();
+        for s in &self.stages {
+            if s.layer == Layer::Recovery {
+                split.recovery_exposed += s.exposed;
+                split.recovery_total += s.total;
+            } else {
+                split.nominal_exposed += s.exposed;
+                split.nominal_total += s.total;
+            }
+        }
+        split
+    }
+}
+
+/// Nominal-vs-recovery decomposition of a reconstruction: how much of the
+/// critical path (and of all recorded time) the recovery machinery owns.
+/// `nominal_exposed + recovery_exposed == length` by the exposed-sum
+/// invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoverySplit {
+    /// Exposed time on non-recovery layers (the calibrated pipeline).
+    pub nominal_exposed: SimDuration,
+    /// Exposed time on [`Layer::Recovery`] — critical-path lengthening
+    /// directly attributable to faults and stalls.
+    pub recovery_exposed: SimDuration,
+    /// Total recorded non-recovery time (exposed + hidden).
+    pub nominal_total: SimDuration,
+    /// Total recorded recovery time (exposed + hidden).
+    pub recovery_total: SimDuration,
+}
+
+/// Per-message chain attribution: the dependency-weighted completion
+/// chain of one message's sink span, with its recovery content named.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageAttribution {
+    /// Task the sink span was recorded in.
+    pub task: usize,
+    /// The sink span's `arg` — the message index at the recording site.
+    pub msg: u64,
+    /// Length of the longest dependency chain ending at the sink.
+    pub chain: SimDuration,
+    /// Recovery-layer time along that chain.
+    pub recovery: SimDuration,
+    /// Number of recovery-layer spans along the chain.
+    pub recovery_count: u64,
+    /// Name of the largest single recovery span on the chain — the
+    /// specific retransmission, backoff, or stall that lengthened this
+    /// message — and its duration. `None` on a clean chain.
+    pub worst: Option<(&'static str, SimDuration)>,
+}
+
+/// Backtrack the maximising chain of every span named `sink_name` and
+/// attribute its recovery content. On a lossy e2e run the sinks are the
+/// `HLP_rx_prog` completions: each message's chain tells how much of its
+/// latency was recovery and which single recovery span hurt most. Rows
+/// come back in emission order (task-major, deterministic); the renderer
+/// sorts by whatever it wants to surface. Fails loudly on a wrapped ring
+/// like [`critical_path`].
+pub fn per_message_attribution(
+    trace: &Trace,
+    sink_name: &str,
+) -> Result<Vec<MessageAttribution>, DagError> {
+    let dropped = trace.dropped();
+    if dropped > 0 {
+        return Err(DagError::Truncated { dropped });
+    }
+    let mut out = Vec::new();
+    for (ti, task) in trace.tasks().iter().enumerate() {
+        let spans = &task.spans;
+        let mut finish: Vec<SimDuration> = Vec::with_capacity(spans.len());
+        for s in spans {
+            let base = s
+                .deps()
+                .filter_map(|d| resolve(spans, d))
+                .map(|j| finish[j])
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            finish.push(base + s.dur);
+        }
+        for (sink, s) in spans.iter().enumerate() {
+            if s.name != sink_name || s.is_instant() {
+                continue;
+            }
+            let mut recovery = SimDuration::ZERO;
+            let mut recovery_count = 0u64;
+            let mut worst: Option<(&'static str, SimDuration)> = None;
+            let mut cur = sink;
+            loop {
+                let span = &spans[cur];
+                if span.layer == Layer::Recovery && !span.is_instant() {
+                    recovery += span.dur;
+                    recovery_count += 1;
+                    if worst.is_none_or(|(_, w)| span.dur > w) {
+                        worst = Some((span.name, span.dur));
+                    }
+                }
+                let pred = span
+                    .deps()
+                    .filter_map(|d| resolve(spans, d))
+                    .max_by(|&a, &b| finish[a].cmp(&finish[b]).then(b.cmp(&a)));
+                match pred {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            out.push(MessageAttribution {
+                task: ti,
+                msg: s.arg,
+                chain: finish[sink],
+                recovery,
+                recovery_count,
+                worst,
+            });
+        }
+    }
+    Ok(out)
 }
 
 /// Reconstruct the critical path of a recorded trace. Fails loudly on a
@@ -398,6 +521,85 @@ mod tests {
         let a = cp.stage("A").unwrap();
         assert_eq!(a.exposed, d(400));
         assert_eq!(a.hidden(), d(100));
+    }
+
+    #[test]
+    fn recovery_split_partitions_the_path_by_layer() {
+        // post -> backoff (recovery) -> retx wire -> prog, plus a hidden
+        // nominal flight and a hidden recovery stall off to the side.
+        let (_, task) = collect(16, || {
+            let a = stage(Layer::Llp, "post", t(0), t(100), 0, &[]);
+            stage(Layer::Wire, "wire", t(100), t(150), 0, &[a]);
+            let g = stage(Layer::Recovery, "backoff", t(100), t(400), 0, &[a]);
+            stage(Layer::Recovery, "stall", t(100), t(120), 0, &[a]);
+            let w = stage(Layer::Recovery, "wire(retx)", t(400), t(480), 0, &[g]);
+            stage(Layer::Llp, "prog", t(480), t(540), 0, &[w]);
+        });
+        let cp = critical_path(&Trace::from_task(task)).unwrap();
+        assert_eq!(cp.length, d(100 + 300 + 80 + 60));
+        let split = cp.recovery_split();
+        assert_eq!(split.nominal_exposed, d(160), "post + prog");
+        assert_eq!(split.recovery_exposed, d(380), "backoff + retx leg");
+        assert_eq!(split.nominal_exposed + split.recovery_exposed, cp.length);
+        assert_eq!(split.nominal_total, d(210), "plus the hidden wire");
+        assert_eq!(split.recovery_total, d(400), "plus the hidden stall");
+    }
+
+    #[test]
+    fn per_message_attribution_names_the_worst_offender() {
+        // Message 0 completes cleanly; message 1's chain carries two
+        // recovery spans, the larger of which must be named.
+        let (_, task) = collect(16, || {
+            let a0 = stage(Layer::Llp, "post", t(0), t(100), 0, &[]);
+            stage(Layer::Hlp, "done", t(100), t(150), 0, &[a0]);
+            let a1 = stage(Layer::Llp, "post", t(0), t(100), 1, &[]);
+            let g = stage(Layer::Recovery, "backoff", t(100), t(400), 1, &[a1]);
+            let w = stage(Layer::Recovery, "wire(retx)", t(400), t(480), 1, &[g]);
+            stage(Layer::Hlp, "done", t(480), t(530), 1, &[w]);
+        });
+        let msgs = per_message_attribution(&Trace::from_task(task), "done").unwrap();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].msg, 0);
+        assert_eq!(msgs[0].chain, d(150));
+        assert_eq!(msgs[0].recovery, SimDuration::ZERO);
+        assert_eq!(msgs[0].recovery_count, 0);
+        assert_eq!(msgs[0].worst, None);
+        assert_eq!(msgs[1].msg, 1);
+        assert_eq!(msgs[1].chain, d(530));
+        assert_eq!(msgs[1].recovery, d(380));
+        assert_eq!(msgs[1].recovery_count, 2);
+        assert_eq!(msgs[1].worst, Some(("backoff", d(300))));
+    }
+
+    #[test]
+    fn per_message_attribution_follows_the_maximising_branch() {
+        // A diamond into the sink: the chain goes through the longer
+        // (recovery) branch, so its recovery content is attributed, not
+        // the short nominal branch's absence of it.
+        let (_, task) = collect(16, || {
+            let a = stage(Layer::Llp, "post", t(0), t(100), 0, &[]);
+            let b = stage(Layer::Wire, "wire", t(100), t(150), 0, &[a]);
+            let c = stage(Layer::Recovery, "stall", t(100), t(350), 0, &[a]);
+            stage(Layer::Hlp, "done", t(350), t(400), 0, &[b, c]);
+        });
+        let msgs = per_message_attribution(&Trace::from_task(task), "done").unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].chain, d(100 + 250 + 50));
+        assert_eq!(msgs[0].recovery, d(250));
+        assert_eq!(msgs[0].worst, Some(("stall", d(250))));
+    }
+
+    #[test]
+    fn per_message_attribution_fails_on_a_wrapped_ring() {
+        let (_, task) = collect(2, || {
+            for i in 0..5u64 {
+                stage(Layer::Nic, "x", t(i), t(i + 1), i, &[]);
+            }
+        });
+        assert_eq!(
+            per_message_attribution(&Trace::from_task(task), "x").unwrap_err(),
+            DagError::Truncated { dropped: 3 }
+        );
     }
 
     use crate::SpanId;

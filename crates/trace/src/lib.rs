@@ -43,7 +43,10 @@ pub mod dag;
 mod recorder;
 
 pub use chrome::{chrome_trace_json, chrome_trace_value};
-pub use dag::{critical_path, CriticalPath, DagError, StageAttribution};
+pub use dag::{
+    critical_path, per_message_attribution, CriticalPath, DagError, MessageAttribution,
+    RecoverySplit, StageAttribution,
+};
 pub use recorder::{
     collect, enabled, instant, instant_now, now, set_now, span, span_dur, stage, stage_dur, Layer,
     SpanId, SpanRecord, TaskTrace, MAX_DEPS,

@@ -309,6 +309,11 @@ pub fn stage_dur(
     arg: u64,
     deps: &[SpanId],
 ) -> SpanId {
+    // Every traced stage also feeds the metrics registry (when one is
+    // collecting): the same name/duration stream, accumulated into
+    // log-bucketed histograms instead of a span ring. Gated on its own
+    // atomic, so this costs one relaxed load when metrics are off.
+    bband_metrics::record_ps(name, dur.as_ps());
     if !enabled() {
         return SpanId::NONE;
     }
