@@ -1,8 +1,14 @@
 //! Hot-path benches for the simulation substrate overhaul: the indexed
-//! 4-ary event queue and the table-driven jitter sampler. Run with
+//! 4-ary event queue, the table-driven jitter sampler, and the fault
+//! engine's fast path against the reference path. Run with
 //! `cargo bench --bench engine_hotpath`; the figures land in CI artifacts
-//! so queue/sampler regressions are visible across PRs.
+//! so queue/sampler/engine regressions are visible across PRs. The same
+//! fault-plan cases feed `repro bench-engine` (BENCH_engine.json), which
+//! adds the byte-identity gate on top of the timing.
 
+use bband_bench::engine_hotpath_cases;
+use bband_core::fault::{run_e2e_under_faults_on, EnginePath};
+use bband_core::Calibration;
 use bband_sim::{EventQueue, Jitter, Pcg64, SimDuration, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -58,6 +64,23 @@ fn bench(c: &mut Criterion) {
         let hw = Jitter::hw_default();
         b.iter(|| black_box(hw.sample(base, &mut rng)))
     });
+
+    // Fault-engine throughput: whole e2e runs per plan case, fast (memo
+    // replay + silent-poll skipping) vs reference (full event loop). The
+    // fault-free case is pure replay; loss and markov-stall exercise the
+    // per-message predraw checks and the convergent stall queries.
+    let cal = Calibration::default();
+    for (case, plan) in engine_hotpath_cases() {
+        for (path, label) in [
+            (EnginePath::Fast, "fast"),
+            (EnginePath::Reference, "reference"),
+        ] {
+            let name = format!("engine/fault_{case}_{label}");
+            c.bench_function(&name, |b| {
+                b.iter(|| black_box(run_e2e_under_faults_on(path, &cal, &plan, 500, 42)))
+            });
+        }
+    }
 }
 
 criterion_group!(benches, bench);

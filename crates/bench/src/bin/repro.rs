@@ -24,6 +24,19 @@
 //! repro metrics            # virtual-time metrics registry: per-stage
 //!                          # p50/p95/p99/p99.9 latency quantile tables
 //! repro metrics --out metrics.json  # ... with the JSON artifact
+//! repro metrics --bench put_bw  # meter a live microbenchmark instead of
+//!                          # the fault engine (put_bw | am_lat | osu):
+//!                          # per-iteration latency quantiles next to the
+//!                          # mean
+//! repro bench-engine       # engine performance trajectory: fast vs
+//!                          # reference wall-clock on the loss/whatif/
+//!                          # metrics sweeps plus hotpath ns-per-message,
+//!                          # written to BENCH_engine.json (or --out);
+//!                          # exits nonzero if the fast path's bytes
+//!                          # diverge from the reference path
+//! repro --smoke bench-engine   # CI-sized engine benchmark
+//! repro --reference loss   # force the reference engine path everywhere
+//!                          # (the escape hatch; fast is the default)
 //! repro --faults plan.json trace --out trace.json
 //!                          # Chrome trace JSON (open in ui.perfetto.dev):
 //!                          # go-back-N replay windows and backoff gaps
@@ -53,9 +66,16 @@ fn main() {
     let scale = if let Some(pos) = args.iter().position(|a| a == "--quick") {
         args.remove(pos);
         Scale::Quick
+    } else if let Some(pos) = args.iter().position(|a| a == "--smoke") {
+        args.remove(pos);
+        Scale::Smoke
     } else {
         Scale::Full
     };
+    if let Some(pos) = args.iter().position(|a| a == "--reference") {
+        args.remove(pos);
+        bband_core::fault::set_engine_path(bband_core::fault::EnginePath::Reference);
+    }
     let serial = if let Some(pos) = args.iter().position(|a| a == "--serial") {
         args.remove(pos);
         true
@@ -96,15 +116,24 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--serial] [--seed N] [--faults PLAN.json] [--json DIR] [--timing-json PATH] [--out OUT.json] [--bench put_bw|am_lat|osu|multicore] <target>... | all"
+            "usage: repro [--quick|--smoke] [--serial] [--reference] [--seed N] [--faults PLAN.json] [--json DIR] [--timing-json PATH] [--out OUT.json] [--bench put_bw|am_lat|osu|multicore] <target>... | bench-engine | all"
         );
         eprintln!("targets: {}", ALL_TARGETS.join(" "));
         std::process::exit(2);
     }
-    let targets: Vec<&str> = if args.len() == 1 && args[0] == "all" {
+    let mut targets: Vec<&str> = if args.len() == 1 && args[0] == "all" {
         ALL_TARGETS.to_vec()
     } else {
         args.iter().map(String::as_str).collect()
+    };
+    // `bench-engine` is a side artifact, not a figure: it times the fast
+    // engine path against the reference path and is never part of `all`
+    // (wall-clock numbers can't be byte-diffed).
+    let bench_engine = if let Some(pos) = targets.iter().position(|t| *t == "bench-engine") {
+        targets.remove(pos);
+        true
+    } else {
+        false
     };
     for t in &targets {
         if !ALL_TARGETS.contains(t) {
@@ -112,21 +141,56 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if trace_out.is_some() && !targets.contains(&"trace") && !targets.contains(&"metrics") {
-        eprintln!("--out requires the trace or metrics target");
+    if trace_out.is_some()
+        && !bench_engine
+        && !targets.contains(&"trace")
+        && !targets.contains(&"metrics")
+    {
+        eprintln!("--out requires the trace, metrics, or bench-engine target");
         std::process::exit(2);
     }
     if let Some(b) = &trace_bench {
-        if !targets.contains(&"trace") {
-            eprintln!("--bench requires the trace target");
+        let trace = targets.contains(&"trace");
+        let metrics = targets.contains(&"metrics");
+        if !trace && !metrics {
+            eprintln!("--bench requires the trace or metrics target");
             std::process::exit(2);
         }
-        if !bband_bench::TRACE_BENCHES.contains(&b.as_str()) {
+        if trace && !bband_bench::TRACE_BENCHES.contains(&b.as_str()) {
             eprintln!(
                 "unknown --bench {b}; known: {}",
                 bband_bench::TRACE_BENCHES.join(" ")
             );
             std::process::exit(2);
+        }
+        if metrics && !bband_bench::METRIC_BENCHES.contains(&b.as_str()) {
+            eprintln!(
+                "unknown --bench {b} for metrics; known: {}",
+                bband_bench::METRIC_BENCHES.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+
+    if bench_engine {
+        let json = bband_bench::bench_engine_json(scale);
+        let path = if targets.is_empty() {
+            trace_out
+                .clone()
+                .unwrap_or_else(|| "BENCH_engine.json".into())
+        } else {
+            "BENCH_engine.json".into()
+        };
+        std::fs::write(&path, &json).expect("write bench-engine json");
+        println!("==== bench-engine ====");
+        println!("{json}");
+        eprintln!("wrote {path}");
+        if json.contains("\"identical\": false") {
+            eprintln!("bench-engine: fast path diverged from the reference path");
+            std::process::exit(1);
+        }
+        if targets.is_empty() {
+            return;
         }
     }
 
@@ -143,6 +207,7 @@ fn main() {
         let t0 = Instant::now();
         let text = match (t, &trace_bench) {
             ("trace", Some(b)) => bband_bench::ext_trace_bench(b, scale),
+            ("metrics", Some(b)) => bband_bench::ext_metrics_bench(b, scale),
             _ => run_target(t, scale),
         };
         let artifact = json_dir
@@ -190,17 +255,7 @@ fn main() {
             })
             .collect();
         let doc = Value::Obj(vec![
-            (
-                "scale".into(),
-                Value::Str(
-                    if scale == Scale::Quick {
-                        "quick"
-                    } else {
-                        "full"
-                    }
-                    .into(),
-                ),
-            ),
+            ("scale".into(), Value::Str(scale.name().into())),
             ("threads".into(), Value::UInt(pool.threads() as u64)),
             ("total_ms".into(), Value::Float(total * 1e3)),
             ("targets".into(), Value::Arr(per_target)),

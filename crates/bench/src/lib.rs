@@ -14,7 +14,7 @@ use bband_core::{
 };
 use bband_metrics::MetricsSet;
 use bband_microbench::{
-    am_lat, credit_exhaustion_onset_with, eager_rndv_sweep, put_bw, traced_am_lat,
+    am_lat, credit_exhaustion_onset_with, eager_rndv_sweep, osu_latency, put_bw, traced_am_lat,
     traced_multicore, traced_osu_latency, traced_put_bw, AmLatConfig, MulticoreConfig,
     OsuLatConfig, PutBwConfig, StackConfig,
 };
@@ -25,10 +25,17 @@ use bband_report::{
 };
 use bband_sim::{SimDuration, WorkerPool};
 use bband_trace::{per_message_attribution, Trace};
+use serde_json::Value;
+use std::time::Instant;
 
-/// Experiment scale: quick (tests) or full (the harness default).
+/// Experiment scale: smoke (CI bench gate), quick (tests), or full (the
+/// harness default). `Smoke` renders every figure target at `Quick` sizes
+/// and only shrinks the engine benchmark ([`bench_engine_json`]) further,
+/// so the CI bench-smoke step stays cheap while still exercising both
+/// engine paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    Smoke,
     Quick,
     Full,
 }
@@ -36,8 +43,17 @@ pub enum Scale {
 impl Scale {
     fn put_bw_messages(self) -> u64 {
         match self {
-            Scale::Quick => 3_000,
+            Scale::Smoke | Scale::Quick => 3_000,
             Scale::Full => 20_000,
+        }
+    }
+
+    /// Stable lowercase name for JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
         }
     }
 }
@@ -98,7 +114,7 @@ pub fn fig10(scale: Scale) -> String {
     let obs = am_lat(&AmLatConfig {
         stack: StackConfig::default(),
         iterations: match scale {
-            Scale::Quick => 200,
+            Scale::Smoke | Scale::Quick => 200,
             Scale::Full => 1_000,
         },
         warmup: 16,
@@ -231,7 +247,7 @@ pub fn claims() -> String {
 /// Model-vs-observed validation table.
 pub fn validation(scale: Scale) -> String {
     let s = match scale {
-        Scale::Quick => ValidationScale::quick(),
+        Scale::Smoke | Scale::Quick => ValidationScale::quick(),
         Scale::Full => ValidationScale::default(),
     };
     let report = validate_all(&Calibration::default(), s, true);
@@ -365,7 +381,7 @@ pub fn ext_multicore() -> String {
 /// report their recovery counters per rank count.
 pub fn ext_collectives(scale: Scale) -> String {
     let counts: &[u32] = match scale {
-        Scale::Quick => &[2, 4, 8],
+        Scale::Smoke | Scale::Quick => &[2, 4, 8],
         Scale::Full => &[2, 4, 8, 16, 32],
     };
     let plan = fault::active_plan();
@@ -495,7 +511,7 @@ pub fn ext_loss(scale: Scale) -> String {
 /// artifact so both emit identical points.
 pub fn loss_sweep(scale: Scale) -> Vec<bband_core::LossPoint> {
     let messages = match scale {
-        Scale::Quick => 120,
+        Scale::Smoke | Scale::Quick => 120,
         Scale::Full => 1_000,
     };
     fault::latency_under_loss(
@@ -518,7 +534,7 @@ pub fn ext_trace(scale: Scale) -> String {
     let c = Calibration::default();
     let plan = fault::active_plan();
     let messages = match scale {
-        Scale::Quick => 24,
+        Scale::Smoke | Scale::Quick => 24,
         Scale::Full => 200,
     };
     let (res, trace) = tracepath::traced_e2e(&c, &plan, messages, StackConfig::default().seed);
@@ -600,7 +616,7 @@ fn run_traced_bench(which: &str, scale: Scale) -> (String, Trace) {
     match which {
         "put_bw" => {
             let messages = match scale {
-                Scale::Quick => 1_500,
+                Scale::Smoke | Scale::Quick => 1_500,
                 Scale::Full => 8_000,
             };
             let cfg = PutBwConfig {
@@ -615,7 +631,7 @@ fn run_traced_bench(which: &str, scale: Scale) -> (String, Trace) {
         }
         "am_lat" => {
             let iterations = match scale {
-                Scale::Quick => 200,
+                Scale::Smoke | Scale::Quick => 200,
                 Scale::Full => 1_000,
             };
             let cfg = AmLatConfig {
@@ -629,7 +645,7 @@ fn run_traced_bench(which: &str, scale: Scale) -> (String, Trace) {
         }
         "osu" => {
             let iterations = match scale {
-                Scale::Quick => 150,
+                Scale::Smoke | Scale::Quick => 150,
                 Scale::Full => 1_000,
             };
             let cfg = OsuLatConfig {
@@ -646,7 +662,7 @@ fn run_traced_bench(which: &str, scale: Scale) -> (String, Trace) {
         }
         "multicore" => {
             let messages_per_core = match scale {
-                Scale::Quick => 300,
+                Scale::Smoke | Scale::Quick => 300,
                 Scale::Full => 2_000,
             };
             // Starved on purpose: 4 header credits replenished 2 at a
@@ -826,7 +842,7 @@ pub fn trace_bench_chrome_json(which: &str, scale: Scale) -> String {
 fn metered(scale: Scale) -> (String, Vec<bband_core::fault::FaultRunStats>, MetricsSet) {
     let plan = fault::active_plan();
     let messages_per_task = match scale {
-        Scale::Quick => 64,
+        Scale::Smoke | Scale::Quick => 64,
         Scale::Full => 500,
     };
     const TASKS: u64 = 4;
@@ -877,6 +893,268 @@ pub fn ext_metrics(scale: Scale) -> String {
 pub fn metrics_json_string(scale: Scale) -> String {
     let (title, _, set) = metered(scale);
     to_json(&metrics_json(&title, &set))
+}
+
+/// Live microbenchmarks that can run under the metrics registry
+/// (`repro metrics --bench <name>`): the per-iteration latencies feed the
+/// quantile histograms, so p50/p95/p99 land next to the means the summary
+/// statistics already report.
+pub const METRIC_BENCHES: [&str; 3] = ["put_bw", "am_lat", "osu"];
+
+/// Run one live microbenchmark with a metrics collector installed,
+/// returning a display label and the recorded task metrics. The jittered
+/// default stack is deliberate: the quantile spread (p99.9 vs mean) is the
+/// paper's Figure-7 heavy tail, which a deterministic stack would flatten
+/// to a spike.
+fn run_metered_bench(which: &str, scale: Scale) -> (String, bband_metrics::TaskMetrics) {
+    match which {
+        "put_bw" => {
+            let messages = scale.put_bw_messages();
+            let cfg = PutBwConfig {
+                stack: StackConfig::default(),
+                messages,
+                ..Default::default()
+            };
+            let (_, task) = bband_metrics::collect(|| put_bw(&cfg));
+            (
+                format!("put_bw ({messages} msgs, per-message injection deltas)"),
+                task,
+            )
+        }
+        "am_lat" => {
+            let iterations = match scale {
+                Scale::Smoke | Scale::Quick => 200,
+                Scale::Full => 1_000,
+            };
+            let cfg = AmLatConfig {
+                stack: StackConfig::default(),
+                iterations,
+                warmup: 16,
+                buffer_samples: false,
+            };
+            let (_, task) = bband_metrics::collect(|| am_lat(&cfg));
+            (
+                format!("am_lat ({iterations} iters, one-way latencies)"),
+                task,
+            )
+        }
+        "osu" => {
+            let iterations = match scale {
+                Scale::Smoke | Scale::Quick => 150,
+                Scale::Full => 1_000,
+            };
+            let cfg = OsuLatConfig {
+                stack: StackConfig::default(),
+                iterations,
+                warmup: 16,
+                buffer_samples: false,
+            };
+            let (_, task) = bband_metrics::collect(|| osu_latency(&cfg));
+            (
+                format!("osu_latency ({iterations} iters, one-way latencies)"),
+                task,
+            )
+        }
+        other => panic!("unknown metric bench {other}; known: {METRIC_BENCHES:?}"),
+    }
+}
+
+/// Extension: a live microbenchmark metered by the virtual-time metrics
+/// registry (`repro metrics --bench <name>`) — per-iteration latency
+/// quantiles (p50/p95/p99/p99.9) next to the mean, from the same histogram
+/// machinery the fault-engine `metrics` target uses.
+pub fn ext_metrics_bench(which: &str, scale: Scale) -> String {
+    let (label, task) = run_metered_bench(which, scale);
+    let set = MetricsSet::from_tasks(vec![task]);
+    render_quantiles(&format!("Live microbenchmark quantiles: {label}"), &set)
+}
+
+/// The fault-engine throughput cases shared by the Criterion hotpath bench
+/// (`benches/engine_hotpath.rs`) and the [`bench_engine_json`] emitter:
+/// the fault-free fast path (pure memo replay), an i.i.d.-loss plan (memo
+/// replay with per-message RNG predraws and occasional reference
+/// fallbacks), and a Markov-stall plan (convergent-mutating stall queries
+/// on every chain).
+pub fn engine_hotpath_cases() -> Vec<(&'static str, fault::FaultPlan)> {
+    let fault_free = fault::FaultPlan::none();
+    let mut loss = fault::FaultPlan::none();
+    loss.loss_probability = 1e-3;
+    let mut markov = fault::FaultPlan::none();
+    markov.markov_stall = Some(fault::MarkovStall {
+        mean_up_ns: 20_000.0,
+        mean_down_ns: 1_000.0,
+    });
+    vec![
+        ("fault_free", fault_free),
+        ("loss_1e-3", loss),
+        ("markov_stall", markov),
+    ]
+}
+
+/// Per-scale sizes for [`bench_engine_json`]: (loss-sweep messages per
+/// grid point, metered messages per task, hotpath messages per case).
+fn engine_bench_sizes(scale: Scale) -> (u64, u64, u64) {
+    match scale {
+        Scale::Smoke => (120, 64, 2_000),
+        Scale::Quick => (250, 128, 5_000),
+        Scale::Full => (1_000, 500, 20_000),
+    }
+}
+
+/// The engine performance trajectory (`repro bench-engine`): wall-clock of
+/// the fast engine path against the reference path on the three sweep
+/// drivers (loss, what-if, metrics) plus ns-per-message on the
+/// [`engine_hotpath_cases`] throughput cases. Every comparison carries an
+/// `identical` flag asserting the fast output is byte-identical to the
+/// reference output — a speedup that changes bytes is a bug, and the CI
+/// bench-smoke step fails on any `false`. Wall-clock numbers are
+/// nondeterministic by nature, so the emitted artifact is *not* part of
+/// the `--json` regen diff set.
+pub fn bench_engine_json(scale: Scale) -> String {
+    use bband_core::fault::EnginePath;
+    let cal = Calibration::default();
+    let plan = fault::active_plan();
+    let seed = StackConfig::default().seed;
+    let pool = WorkerPool::new();
+    let (sweep_messages, metered_messages, hotpath_messages) = engine_bench_sizes(scale);
+
+    let sweep_obj = |name: &str, reference_ms: f64, fast_ms: f64, identical: bool| {
+        Value::Obj(vec![
+            ("name".into(), Value::Str(name.into())),
+            ("reference_ms".into(), Value::Float(reference_ms)),
+            ("fast_ms".into(), Value::Float(fast_ms)),
+            (
+                "speedup".into(),
+                Value::Float(if fast_ms > 0.0 {
+                    reference_ms / fast_ms
+                } else {
+                    0.0
+                }),
+            ),
+            ("identical".into(), Value::Bool(identical)),
+        ])
+    };
+    let mut sweeps = Vec::new();
+
+    // Sweep 1: the loss sweep (`repro loss`), both paths pinned.
+    let t0 = Instant::now();
+    let ref_points = fault::latency_under_loss_on(
+        EnginePath::Reference,
+        &cal,
+        &plan,
+        &fault::DEFAULT_LOSS_GRID,
+        sweep_messages,
+        seed,
+        &pool,
+    );
+    let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let fast_points = fault::latency_under_loss_on(
+        EnginePath::Fast,
+        &cal,
+        &plan,
+        &fault::DEFAULT_LOSS_GRID,
+        sweep_messages,
+        seed,
+        &pool,
+    );
+    let fast_ms = t0.elapsed().as_secs_f64() * 1e3;
+    sweeps.push(sweep_obj(
+        "loss",
+        ref_ms,
+        fast_ms,
+        fast_points == ref_points,
+    ));
+
+    // Sweep 2: the dense what-if sweep — incremental (shared baselines)
+    // vs the point-at-a-time model reconstruction.
+    let w = WhatIf::new(cal.clone());
+    let t0 = Instant::now();
+    let ref_curves = w.dense_sweep_reference();
+    let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let fast_curves = w.dense_sweep();
+    let fast_ms = t0.elapsed().as_secs_f64() * 1e3;
+    sweeps.push(sweep_obj(
+        "whatif",
+        ref_ms,
+        fast_ms,
+        fast_curves == ref_curves,
+    ));
+
+    // Sweep 3: the metered e2e run (`repro metrics`): run stats *and* the
+    // rendered JSON artifact (histograms, counters) must match.
+    let t0 = Instant::now();
+    let (ref_runs, ref_set) = tracepath::metered_e2e_on(
+        EnginePath::Reference,
+        &cal,
+        &plan,
+        metered_messages,
+        4,
+        seed,
+        &pool,
+    );
+    let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let (fast_runs, fast_set) = tracepath::metered_e2e_on(
+        EnginePath::Fast,
+        &cal,
+        &plan,
+        metered_messages,
+        4,
+        seed,
+        &pool,
+    );
+    let fast_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let identical = fast_runs == ref_runs
+        && to_json(&metrics_json("engine", &fast_set))
+            == to_json(&metrics_json("engine", &ref_set));
+    sweeps.push(sweep_obj("metrics", ref_ms, fast_ms, identical));
+
+    // Hotpath throughput: single-run ns-per-message on each case.
+    let hotpath = engine_hotpath_cases()
+        .into_iter()
+        .map(|(name, case)| {
+            let t0 = Instant::now();
+            let ref_out = fault::run_e2e_under_faults_on(
+                EnginePath::Reference,
+                &cal,
+                &case,
+                hotpath_messages,
+                seed,
+            );
+            let ref_ns = t0.elapsed().as_secs_f64() * 1e9 / hotpath_messages as f64;
+            let t0 = Instant::now();
+            let fast_out = fault::run_e2e_under_faults_on(
+                EnginePath::Fast,
+                &cal,
+                &case,
+                hotpath_messages,
+                seed,
+            );
+            let fast_ns = t0.elapsed().as_secs_f64() * 1e9 / hotpath_messages as f64;
+            Value::Obj(vec![
+                ("name".into(), Value::Str(name.into())),
+                ("messages".into(), Value::UInt(hotpath_messages)),
+                ("reference_ns_per_msg".into(), Value::Float(ref_ns)),
+                ("fast_ns_per_msg".into(), Value::Float(fast_ns)),
+                (
+                    "speedup".into(),
+                    Value::Float(if fast_ns > 0.0 { ref_ns / fast_ns } else { 0.0 }),
+                ),
+                ("identical".into(), Value::Bool(fast_out == ref_out)),
+            ])
+        })
+        .collect();
+
+    let doc = Value::Obj(vec![
+        ("schema".into(), Value::Str("bband/bench-engine/v1".into())),
+        ("scale".into(), Value::Str(scale.name().into())),
+        ("threads".into(), Value::UInt(pool.threads() as u64)),
+        ("sweeps".into(), Value::Arr(sweeps)),
+        ("hotpath".into(), Value::Arr(hotpath)),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("render bench-engine json")
 }
 
 /// Every figure id the harness knows.
@@ -1053,6 +1331,37 @@ mod tests {
         assert!(out.contains("HLP_post"), "{out}");
         assert!(out.contains("HLP_rx_prog"), "{out}");
         assert!(out.contains("trace-diff: OK"), "{out}");
+    }
+
+    #[test]
+    fn every_metric_bench_renders_quantiles() {
+        for (b, stage) in [
+            ("put_bw", "put_bw_iter"),
+            ("am_lat", "am_lat_iter"),
+            ("osu", "osu_iter"),
+        ] {
+            let out = ext_metrics_bench(b, Scale::Quick);
+            assert!(out.contains("p99.9"), "bench {b}:\n{out}");
+            assert!(out.contains(stage), "bench {b} missing {stage}:\n{out}");
+            // Deterministic: the registry records on the virtual clock.
+            assert_eq!(out, ext_metrics_bench(b, Scale::Quick), "bench {b}");
+        }
+    }
+
+    #[test]
+    fn bench_engine_smoke_is_identical_on_both_paths() {
+        let json = bench_engine_json(Scale::Smoke);
+        assert!(json.contains("bband/bench-engine/v1"), "{json}");
+        assert!(json.contains("\"smoke\""), "{json}");
+        for sweep in ["loss", "whatif", "metrics"] {
+            assert!(json.contains(&format!("\"{sweep}\"")), "{json}");
+        }
+        for case in ["fault_free", "loss_1e-3", "markov_stall"] {
+            assert!(json.contains(&format!("\"{case}\"")), "{json}");
+        }
+        // Every fast-vs-reference comparison must be byte-identical; the
+        // only booleans in the schema are the `identical` flags.
+        assert!(!json.contains("false"), "fast path diverged:\n{json}");
     }
 
     #[test]

@@ -42,11 +42,12 @@ use bband_pcie::{
     DllReceiver, FlowControl, LossyLink, ReplayBuffer, RxVerdict, SeqNum, Tlp, TlpIdGen,
 };
 use bband_profiling::RecoveryCounters;
-use bband_sim::{EventQueue, Pcg64, SimDuration, SimTime, StallSchedule, WorkerPool};
+use bband_sim::{EventKey, EventQueue, Pcg64, SimDuration, SimTime, StallSchedule, WorkerPool};
 use bband_trace as trace;
 use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 /// Retransmission-timer policy: base ACK timeout (backed off exponentially
@@ -123,7 +124,10 @@ impl Deserialize for GilbertElliott {
     }
 }
 
-/// The burst-loss channel state machine for one run.
+/// The burst-loss channel state machine for one run. `Clone` so the fast
+/// path can advance a speculative copy and commit it only when no loss
+/// was drawn (see [`FaultSim::try_replay`]).
+#[derive(Clone)]
 struct GeChannel {
     cfg: GilbertElliott,
     rng: Pcg64,
@@ -324,6 +328,40 @@ pub fn active_plan() -> FaultPlan {
     PLAN_OVERRIDE.get().cloned().unwrap_or_else(FaultPlan::none)
 }
 
+/// Which implementation drives the fault engine. Both produce byte-identical
+/// stats, counters, trace spans, and metrics; the fast path just gets there
+/// without re-simulating structurally identical messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePath {
+    /// Memoized stage-chain replay, silent-poll elision, and event
+    /// batching (the default).
+    Fast,
+    /// The plain event loop: every message simulated event by event. The
+    /// `repro --reference` escape hatch and the equivalence tests use it.
+    Reference,
+}
+
+static ENGINE_PATH: AtomicU8 = AtomicU8::new(0);
+
+/// Select the process-wide engine path (the `repro --reference` flag).
+/// Unlike the plan override this is re-settable: the bench emitter flips
+/// between paths to time both.
+pub fn set_engine_path(path: EnginePath) {
+    let v = match path {
+        EnginePath::Fast => 0,
+        EnginePath::Reference => 1,
+    };
+    ENGINE_PATH.store(v, Ordering::Relaxed);
+}
+
+/// The engine path new runs resolve when none is passed explicitly.
+pub fn active_engine_path() -> EnginePath {
+    match ENGINE_PATH.load(Ordering::Relaxed) {
+        0 => EnginePath::Fast,
+        _ => EnginePath::Reference,
+    }
+}
+
 /// Terminal error: the oldest unacked packet exhausted its retry budget.
 /// Surfaced instead of retrying forever — a run under total loss
 /// terminates with this, it never hangs.
@@ -444,6 +482,10 @@ struct Traversal {
     span: trace::SpanId,
 }
 
+/// Replay-buffer depth of each PCIe link direction, shared with the fast
+/// path's room check.
+const REPLAY_SLOTS: usize = 32;
+
 impl PcieChannel {
     fn new(
         pcie: SimDuration,
@@ -454,7 +496,7 @@ impl PcieChannel {
         layer: trace::Layer,
     ) -> Self {
         PcieChannel {
-            buf: ReplayBuffer::new(32),
+            buf: ReplayBuffer::new(REPLAY_SLOTS),
             rx: DllReceiver::new(),
             link: LossyLink::new(corruption, seed),
             fc_recv,
@@ -464,6 +506,18 @@ impl PcieChannel {
             span_name,
             layer,
         }
+    }
+
+    /// Bulk-advance for memoized replay: `n` in-order deliveries of which
+    /// the first `n - 1` have been reaped, leaving `last`'s ACK DLLP (due
+    /// at `ack_due`) in flight — the state `n` reap/send/accept rounds
+    /// produce. The caller reaped everything due first.
+    fn skip_delivered(&mut self, n: u64, last: Tlp, delivered: SimTime, ack_due: SimTime) {
+        debug_assert!(self.pending_acks.is_empty() && self.buf.pending() == 0);
+        let seq = self.buf.skip_delivered(n, last);
+        self.rx.skip_delivered(n);
+        self.pending_acks.push_back((seq, ack_due));
+        self.clock = delivered;
     }
 
     /// Free replay-buffer slots whose ACK DLLP has arrived by `now`.
@@ -562,8 +616,136 @@ impl PcieChannel {
     }
 }
 
+/// The memoized fault-free message lifetime: every instant of the
+/// nine-slice stage chain as an offset from the post time, precomputed
+/// once per run (hash-consing one representative chain per calibration —
+/// the plan contributes no offsets on a clean lifetime, only RNG draws,
+/// which [`FaultSim::try_replay`] re-checks per message).
+///
+/// `None` when the run's timing makes the steady-state layout invalid —
+/// e.g. a retry timeout shorter than the transport ACK round trip, where
+/// the reference path would fire timer recovery on every message — in
+/// which case every message takes the event loop.
+#[derive(Debug, Clone, Copy)]
+struct ChainMemo {
+    /// `HLP_post` end.
+    hlp_done: SimDuration,
+    /// `LLP_post` end: the MMIO write is ready (the TX-link depart time).
+    ready: SimDuration,
+    /// TX PCIe delivery: the packet departs the NIC here.
+    nic: SimDuration,
+    /// Wire end / switch entry.
+    at_switch: SimDuration,
+    /// Switch exit: the packet reaches the target NIC.
+    pkt_arr: SimDuration,
+    /// Transport ACK back at the initiator NIC.
+    ack_arr: SimDuration,
+    /// RX PCIe delivery at the target root complex.
+    rx_arr: SimDuration,
+    /// Payload landed in target memory.
+    in_mem: SimDuration,
+    /// `LLP_prog` end.
+    llp_done: SimDuration,
+    /// `HLP_rx_prog` end: the completed end-to-end latency.
+    total: SimDuration,
+    /// `total` in nanoseconds — the exact f64 the reference path folds
+    /// into its running statistics.
+    total_ns: f64,
+    /// One PCIe traversal (ACK DLLP return leg).
+    pcie: SimDuration,
+}
+
+impl ChainMemo {
+    /// Precompute the chain for one run, or `None` when the layout cannot
+    /// be replayed safely (see invalidation rules in DESIGN.md §12).
+    fn build(
+        cal: &Calibration,
+        model_total: SimDuration,
+        retry_timeout: SimDuration,
+    ) -> Option<Self> {
+        let pcie = cal.pcie();
+        let net = cal.wire() + cal.switch();
+        let hlp_done = cal.hlp_post();
+        let ready = hlp_done + cal.llp_post();
+        let nic = ready + pcie;
+        let at_switch = nic + cal.wire();
+        let pkt_arr = at_switch + cal.switch();
+        let ack_arr = pkt_arr + net;
+        let rx_arr = pkt_arr + pcie;
+        let in_mem = rx_arr + cal.rc_to_mem_8b();
+        let llp_done = in_mem + cal.llp_prog();
+        let total = llp_done + cal.hlp_rx_prog();
+        // The chain must land exactly on the analytical model (the post
+        // interval), or replayed latencies would drift from the loop's.
+        if total != model_total {
+            return None;
+        }
+        // The UpdateFC DLLP must land strictly before the next post: at a
+        // tie the reference pops the pre-pushed Post first and would see
+        // the pool un-replenished.
+        if nic + pcie >= total {
+            return None;
+        }
+        // The transport ACK must clear the in-flight window strictly
+        // before the next post, or back-to-back chains overlap in the
+        // go-back-N state.
+        if ack_arr >= total {
+            return None;
+        }
+        // The retransmission timer must outlive the ACK round trip
+        // (otherwise the reference path fires timer recovery on every
+        // message and no lifetime is fault-free).
+        if retry_timeout <= net * 2 {
+            return None;
+        }
+        Some(ChainMemo {
+            hlp_done,
+            ready,
+            nic,
+            at_switch,
+            pkt_arr,
+            ack_arr,
+            rx_arr,
+            in_mem,
+            llp_done,
+            total,
+            total_ns: total.as_ns_f64(),
+            pcie,
+        })
+    }
+}
+
 /// The recovery simulation for one run.
 struct FaultSim {
+    /// Which loop drives this run (fixed at construction).
+    path: EnginePath,
+    /// Memoized fault-free lifetime, when the layout admits one.
+    memo: Option<ChainMemo>,
+    /// Fast path only: set once a loop-simulated message completes with a
+    /// latency bit-equal to the memo — replay engages only after the event
+    /// loop itself has demonstrated the chain once.
+    rep_verified: bool,
+    /// Fast path only: key and fire time of the single live retransmission
+    /// timer event (reference mode pushes one per re-arm and lets stale
+    /// entries no-op; fast mode cancels them — the satellite fix for heap
+    /// growth under long lossy runs).
+    timer_key: Option<EventKey>,
+    timer_deadline: Option<SimTime>,
+    /// Fast path only: next message index to post (posts are generated
+    /// lazily instead of pre-pushing one event per message).
+    next_post: u64,
+    /// Fast path only: is any collector (trace spans or metrics
+    /// histograms) installed on this thread? Sampled once at run start —
+    /// collectors are installed around a whole run, never mid-run — so
+    /// replay can skip the ~10 per-message recording calls (each an
+    /// atomic + TLS probe when disabled) with one predictable branch.
+    instrumented: bool,
+    /// Fast path only: the plan's fault sources are at most i.i.d. loss and
+    /// no collector is installed, so runs of clean messages can commit in
+    /// bulk ([`FaultSim::try_turbo`]) instead of one replay at a time.
+    turbo_ok: bool,
+    /// Uniform post cadence (`post_time[m+1] - post_time[m]`).
+    post_interval: SimDuration,
     plan: FaultPlan,
     // Calibrated stage costs, kept per component so the trace can expose
     // the Figure-13 slices. The combined stage costs below are sums of
@@ -611,7 +793,13 @@ struct FaultSim {
 }
 
 impl FaultSim {
-    fn new(cal: &Calibration, plan: &FaultPlan, messages: u64, seed: u64) -> Self {
+    fn new(
+        cal: &Calibration,
+        plan: &FaultPlan,
+        messages: u64,
+        seed: u64,
+        path: EnginePath,
+    ) -> Self {
         if let Some(c) = plan.credits {
             // A pool that can never issue the 64-byte PIO chunk, or whose
             // UpdateFC batch can never fill once the header pool empties,
@@ -641,9 +829,39 @@ impl FaultSim {
         for msg in 0..messages {
             let at = SimTime::ZERO + post_interval * msg;
             post_time.push(at);
-            queue.push(at, Ev::Post { msg });
+            // The fast path generates posts lazily from `next_post` — the
+            // queue then holds only genuinely pending events, which is
+            // both the quiescence test replay needs and a heap that stays
+            // O(in-flight) instead of O(messages).
+            if path == EnginePath::Reference {
+                queue.push(at, Ev::Post { msg });
+            }
         }
+        let instrumented = trace::enabled() || bband_metrics::enabled();
+        let burst = plan.burst_loss.map(|g| GeChannel::new(g, seed));
+        let stall_sched = plan
+            .markov_stall
+            .filter(|m| !m.is_zero())
+            .map(|m| StallSchedule::new(m.mean_up_ns, m.mean_down_ns, seed ^ 0x57A11));
+        // Bulk replay handles fault sources that draw per message (i.i.d.
+        // loss or nothing); time-windowed sources (stalls, bursty loss) and
+        // per-traversal corruption draws keep the one-message replay.
+        let turbo_ok = path == EnginePath::Fast
+            && !instrumented
+            && plan.corruption_probability == 0.0
+            && plan.nic_stalls.is_empty()
+            && burst.is_none()
+            && stall_sched.is_none();
         FaultSim {
+            path,
+            memo: ChainMemo::build(cal, post_interval, retry_timeout),
+            rep_verified: false,
+            timer_key: None,
+            timer_deadline: None,
+            next_post: 0,
+            instrumented,
+            turbo_ok,
+            post_interval,
             plan: plan.clone(),
             hlp_post: cal.hlp_post(),
             llp_post: cal.llp_post(),
@@ -674,11 +892,8 @@ impl FaultSim {
             rc_tx: RcSender::new(retry_timeout),
             rc_rx: RcReceiver::new(),
             fabric: LossyFabric::new(plan.loss_probability, seed),
-            burst: plan.burst_loss.map(|g| GeChannel::new(g, seed)),
-            stall_sched: plan
-                .markov_stall
-                .filter(|m| !m.is_zero())
-                .map(|m| StallSchedule::new(m.mean_up_ns, m.mean_down_ns, seed ^ 0x57A11)),
+            burst,
+            stall_sched,
             credit_waiters: VecDeque::new(),
             psn_launch: Vec::new(),
             target_cpu_free: SimTime::ZERO,
@@ -744,9 +959,43 @@ impl FaultSim {
     }
 
     /// Arm the retransmission timer for the current oldest unacked packet.
+    ///
+    /// Reference mode pushes a fresh event on every re-arm; superseded
+    /// entries linger and fire as no-op polls. Fast mode keeps exactly one
+    /// live timer event: a re-arm at an unchanged fire time keeps the
+    /// existing entry (it is the earliest pushed instance, which is the
+    /// one the reference path lets govern), any other re-arm cancels and
+    /// re-pushes, and an empty window cancels outright — so no-op Timer
+    /// events never reach the heap at all.
     fn arm_timer(&mut self, now: SimTime) {
-        if let Some(deadline) = self.rc_tx.next_deadline() {
-            self.queue.push(deadline.max_of(now), Ev::Timer);
+        match self.path {
+            EnginePath::Reference => {
+                if let Some(deadline) = self.rc_tx.next_deadline() {
+                    self.queue.push(deadline.max_of(now), Ev::Timer);
+                }
+            }
+            EnginePath::Fast => match self.rc_tx.next_deadline() {
+                Some(deadline) => {
+                    // Key on the deadline, not the fire time: a re-arm with
+                    // an unchanged deadline but a later `now` (a synchronous
+                    // post leapfrogged the pending entry) must keep the
+                    // earlier entry — in the reference heap that earlier
+                    // instance still fires, genuinely, at the deadline.
+                    if self.timer_deadline != Some(deadline) {
+                        if let Some(key) = self.timer_key.take() {
+                            self.queue.cancel(key);
+                        }
+                        self.timer_key = Some(self.queue.push(deadline.max_of(now), Ev::Timer));
+                        self.timer_deadline = Some(deadline);
+                    }
+                }
+                None => {
+                    if let Some(key) = self.timer_key.take() {
+                        self.queue.cancel(key);
+                    }
+                    self.timer_deadline = None;
+                }
+            },
         }
     }
 
@@ -934,6 +1183,17 @@ impl FaultSim {
             trace::stage(trace::Layer::Hlp, "HLP_rx_prog", llp_done, done, msg, &[lp]);
         self.target_cpu_free = done;
         let latency_dur = done.since(self.post_time[msg as usize]);
+        // Replay bootstrap: the fast path trusts the memo only after the
+        // event loop itself has completed one message bit-exactly on it
+        // (any fault strictly lengthens the lifetime, so equality means
+        // the chain ran clean end to end).
+        if !self.rep_verified {
+            if let Some(m) = &self.memo {
+                if latency_dur == m.total {
+                    self.rep_verified = true;
+                }
+            }
+        }
         // Per-message latency feeds the metrics registry (when one is
         // collecting) — the e2e distribution behind `repro metrics`.
         bband_metrics::record("e2e_latency", latency_dur);
@@ -954,7 +1214,121 @@ impl FaultSim {
         self.arm_timer(now);
     }
 
-    fn run(mut self, messages: u64) -> (FaultRunStats, Option<RetryExhausted>) {
+    /// Handle one event. Shared verbatim between the reference loop (one
+    /// pop per iteration) and the fast loop (batched pops): the two paths
+    /// differ only in how events reach this point, never in what an event
+    /// does. A tripped retry budget lands in `aborted`; the caller breaks.
+    fn dispatch(&mut self, t: SimTime, ev: Ev, aborted: &mut Option<RetryExhausted>) {
+        match ev {
+            Ev::Post { msg } => self.post(msg, t),
+            Ev::PktArrive { msg, psn, dep } => match self.rc_rx.on_packet(psn) {
+                RcVerdict::Deliver { ack } => {
+                    self.deliver(msg, t, dep);
+                    self.launch_ctrl(t, "ack_flight", false, dep, |_| Ev::AckArrive { psn: ack });
+                }
+                RcVerdict::Nak { expected } => {
+                    self.launch_ctrl(t, "nak_flight", true, dep, |s| Ev::NakArrive {
+                        psn: expected,
+                        dep: s,
+                    });
+                }
+                RcVerdict::DuplicateAck { ack } => {
+                    self.launch_ctrl(t, "ack_flight", false, dep, |_| Ev::AckArrive { psn: ack });
+                }
+            },
+            Ev::AckArrive { psn } => {
+                self.rc_tx.on_ack(psn);
+                self.arm_timer(t);
+            }
+            Ev::NakArrive { psn, dep } => {
+                // Go-back-N resends chain after the NAK flight that
+                // provoked them; their recovery cost accrues where the
+                // retransmitted legs are recorded, in `launch`.
+                let resends = self.rc_tx.on_nak(psn, t);
+                self.relaunch(resends, t, dep);
+            }
+            Ev::Timer => match self.rc_tx.next_deadline() {
+                Some(deadline) if deadline <= t => {
+                    let backoff = self.rc_tx.effective_timeout();
+                    self.counters.recovery_time += backoff;
+                    // The backoff gap the oldest packet waited out,
+                    // ending at the timer firing. It happens after the
+                    // oldest unacked packet's last transmission attempt
+                    // (often a drop marker) — the DAG can then name the
+                    // attempt each backoff waited on.
+                    let gap_dep = self
+                        .rc_tx
+                        .oldest_unacked()
+                        .and_then(|(psn, _)| self.psn_launch.get(psn.0 as usize).copied())
+                        .unwrap_or(trace::SpanId::NONE);
+                    let gap = trace::stage(
+                        trace::Layer::Recovery,
+                        "rto_backoff",
+                        t - backoff,
+                        t,
+                        self.rc_tx.front_retries() as u64 + 1,
+                        &[gap_dep],
+                    );
+                    let resends = self.rc_tx.on_timer(t);
+                    if self.rc_tx.front_retries() > self.plan.retry.max_retries {
+                        let (psn, pkt) = self
+                            .rc_tx
+                            .oldest_unacked()
+                            .expect("budget tripped on a live packet");
+                        *aborted = Some(RetryExhausted {
+                            message: pkt.id.0,
+                            psn: psn.0,
+                            retries: self.rc_tx.front_retries(),
+                            at_ns: t.since(SimTime::ZERO).as_ps() / 1000,
+                        });
+                        return;
+                    }
+                    self.relaunch(resends, t, gap);
+                }
+                // Stale or early firing: nothing due. `arm_timer` is
+                // re-invoked on every state change, so a live deadline
+                // always has an event at or before it.
+                _ => {}
+            },
+            Ev::UpdateFc { hdr, data } => {
+                self.fc_issue.replenish(hdr, data);
+                while let Some(&(msg, tlp, ready, post_dep)) = self.credit_waiters.front() {
+                    if self.fc_issue.consume(&tlp).is_err() {
+                        break;
+                    }
+                    self.credit_waiters.pop_front();
+                    // The grant may land while the CPU is still mid-post;
+                    // the MMIO write goes out at the later of the two.
+                    let start = t.max_of(ready);
+                    self.counters.recovery_time += start.since(ready);
+                    let dep = if start > ready {
+                        trace::stage(
+                            trace::Layer::Recovery,
+                            "credit_wait",
+                            ready,
+                            start,
+                            msg,
+                            &[post_dep],
+                        )
+                    } else {
+                        post_dep
+                    };
+                    self.transmit(msg, tlp, start, dep);
+                }
+            }
+        }
+    }
+
+    fn run(self, messages: u64) -> (FaultRunStats, Option<RetryExhausted>) {
+        match self.path {
+            EnginePath::Reference => self.run_reference(messages),
+            EnginePath::Fast => self.run_fast(messages),
+        }
+    }
+
+    /// The reference event loop: pop one event at a time until every
+    /// message completes or the retry budget trips.
+    fn run_reference(mut self, messages: u64) -> (FaultRunStats, Option<RetryExhausted>) {
         let mut aborted = None;
         while self.completed < messages {
             let Some((t, ev)) = self.queue.pop() else {
@@ -965,109 +1339,478 @@ impl FaultSim {
                 // (credit pools, LCRC checks) that emit `instant_now`.
                 trace::set_now(t);
             }
-            match ev {
-                Ev::Post { msg } => self.post(msg, t),
-                Ev::PktArrive { msg, psn, dep } => match self.rc_rx.on_packet(psn) {
-                    RcVerdict::Deliver { ack } => {
-                        self.deliver(msg, t, dep);
-                        self.launch_ctrl(t, "ack_flight", false, dep, |_| Ev::AckArrive {
-                            psn: ack,
-                        });
-                    }
-                    RcVerdict::Nak { expected } => {
-                        self.launch_ctrl(t, "nak_flight", true, dep, |s| Ev::NakArrive {
-                            psn: expected,
-                            dep: s,
-                        });
-                    }
-                    RcVerdict::DuplicateAck { ack } => {
-                        self.launch_ctrl(t, "ack_flight", false, dep, |_| Ev::AckArrive {
-                            psn: ack,
-                        });
-                    }
-                },
-                Ev::AckArrive { psn } => {
-                    self.rc_tx.on_ack(psn);
-                    self.arm_timer(t);
+            self.dispatch(t, ev, &mut aborted);
+            if aborted.is_some() {
+                break;
+            }
+        }
+        self.finish(messages, aborted)
+    }
+
+    /// The fast loop: posts are merged in lazily (ties go to the post —
+    /// the reference pre-pushed Posts with the lowest sequence numbers),
+    /// each post first attempts a memoized replay, and due events drain in
+    /// same-timestamp batches.
+    fn run_fast(mut self, messages: u64) -> (FaultRunStats, Option<RetryExhausted>) {
+        let mut aborted = None;
+        let mut batch: Vec<(SimTime, Ev)> = Vec::new();
+        while self.completed < messages {
+            let pending_post =
+                (self.next_post < messages).then(|| self.post_time[self.next_post as usize]);
+            let take_post = match (pending_post, self.queue.next_live_time()) {
+                (Some(p), Some(q)) => p <= q,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => {
+                    unreachable!("event queue drained with messages outstanding")
                 }
-                Ev::NakArrive { psn, dep } => {
-                    // Go-back-N resends chain after the NAK flight that
-                    // provoked them; their recovery cost accrues where the
-                    // retransmitted legs are recorded, in `launch`.
-                    let resends = self.rc_tx.on_nak(psn, t);
-                    self.relaunch(resends, t, dep);
+            };
+            if take_post {
+                let msg = self.next_post;
+                let t = self.post_time[msg as usize];
+                if self.turbo_ok {
+                    let k = self.try_turbo(msg, t, messages);
+                    if k > 0 {
+                        self.next_post += k;
+                        continue;
+                    }
                 }
-                Ev::Timer => match self.rc_tx.next_deadline() {
-                    Some(deadline) if deadline <= t => {
-                        let backoff = self.rc_tx.effective_timeout();
-                        self.counters.recovery_time += backoff;
-                        // The backoff gap the oldest packet waited out,
-                        // ending at the timer firing. It happens after the
-                        // oldest unacked packet's last transmission attempt
-                        // (often a drop marker) — the DAG can then name the
-                        // attempt each backoff waited on.
-                        let gap_dep = self
-                            .rc_tx
-                            .oldest_unacked()
-                            .and_then(|(psn, _)| self.psn_launch.get(psn.0 as usize).copied())
-                            .unwrap_or(trace::SpanId::NONE);
-                        let gap = trace::stage(
-                            trace::Layer::Recovery,
-                            "rto_backoff",
-                            t - backoff,
-                            t,
-                            self.rc_tx.front_retries() as u64 + 1,
-                            &[gap_dep],
-                        );
-                        let resends = self.rc_tx.on_timer(t);
-                        if self.rc_tx.front_retries() > self.plan.retry.max_retries {
-                            let (psn, pkt) = self
-                                .rc_tx
-                                .oldest_unacked()
-                                .expect("budget tripped on a live packet");
-                            aborted = Some(RetryExhausted {
-                                message: pkt.id.0,
-                                psn: psn.0,
-                                retries: self.rc_tx.front_retries(),
-                                at_ns: t.since(SimTime::ZERO).as_ps() / 1000,
-                            });
-                            break;
-                        }
-                        self.relaunch(resends, t, gap);
+                self.next_post += 1;
+                if self.try_replay(msg, t) {
+                    continue;
+                }
+                if trace::enabled() {
+                    trace::set_now(t);
+                }
+                self.post(msg, t);
+            } else {
+                batch.clear();
+                self.queue.pop_batch(SimTime::MAX, &mut batch);
+                for (t, ev) in batch.drain(..) {
+                    if self.completed >= messages || aborted.is_some() {
+                        break;
                     }
-                    // Stale or early firing: nothing due. `arm_timer` is
-                    // re-invoked on every state change, so a live deadline
-                    // always has an event at or before it.
-                    _ => {}
-                },
-                Ev::UpdateFc { hdr, data } => {
-                    self.fc_issue.replenish(hdr, data);
-                    while let Some(&(msg, tlp, ready, post_dep)) = self.credit_waiters.front() {
-                        if self.fc_issue.consume(&tlp).is_err() {
-                            break;
-                        }
-                        self.credit_waiters.pop_front();
-                        // The grant may land while the CPU is still mid-post;
-                        // the MMIO write goes out at the later of the two.
-                        let start = t.max_of(ready);
-                        self.counters.recovery_time += start.since(ready);
-                        let dep = if start > ready {
-                            trace::stage(
-                                trace::Layer::Recovery,
-                                "credit_wait",
-                                ready,
-                                start,
-                                msg,
-                                &[post_dep],
-                            )
-                        } else {
-                            post_dep
-                        };
-                        self.transmit(msg, tlp, start, dep);
+                    if matches!(ev, Ev::Timer) {
+                        // The single live timer entry just left the heap.
+                        self.timer_key = None;
+                        self.timer_deadline = None;
                     }
+                    if trace::enabled() {
+                        trace::set_now(t);
+                    }
+                    self.dispatch(t, ev, &mut aborted);
+                }
+                if aborted.is_some() {
+                    break;
                 }
             }
         }
+        self.finish(messages, aborted)
+    }
+
+    /// Attempt to complete a whole run of consecutive clean messages
+    /// starting at `msg` (posted at `t`) in one bulk commit, instead of one
+    /// [`FaultSim::try_replay`] at a time. Returns the number of messages
+    /// completed (0: fall back to the per-message path).
+    ///
+    /// Eligibility beyond [`FaultSim::turbo_ok`]'s plan shape: in steady
+    /// state each clean message is the same pure function of its post time,
+    /// and post times are uniformly spaced — so once the first message's
+    /// admission checks pass and the shift-invariance inequalities below
+    /// hold, every later clean message's checks pass by induction. The only
+    /// per-message work left is the loss draws (taken in reference order on
+    /// a scratch stream, stopping *before* the first faulting message's
+    /// draws so the event loop redraws them from the committed stream) and
+    /// the sequential f64 latency folds the reference performs. Everything
+    /// else — TLP ids, DLL sequence numbers, PSNs, the in-flight ACK
+    /// queues, link clocks, the credit-pool phase — advances in closed form
+    /// to the exact state `k` single replays would produce.
+    fn try_turbo(&mut self, msg: u64, t: SimTime, messages: u64) -> u64 {
+        let Some(memo) = self.memo else {
+            return 0;
+        };
+        if !self.rep_verified {
+            return 0;
+        }
+        if !self.queue.is_empty() || !self.credit_waiters.is_empty() || self.rc_tx.pending() != 0 {
+            return 0;
+        }
+        // Shift-invariance: with posts `interval` apart, message `m+1`'s
+        // admission checks against message `m`'s committed state reduce to
+        // constant inequalities between memo offsets. The ACK-reap bounds
+        // subsume the link-clock FIFO checks.
+        let iv = self.post_interval;
+        if memo.nic + memo.pcie > iv + memo.ready
+            || memo.rx_arr + memo.pcie > iv + memo.pkt_arr
+            || memo.total > iv + memo.in_mem
+        {
+            return 0;
+        }
+        // First-message admission against the current state, exactly as
+        // `try_replay` would check and reap.
+        let ready = t + memo.ready;
+        let pkt_arr = t + memo.pkt_arr;
+        if self.tx_chan.clock > ready || self.rx_chan.clock > pkt_arr {
+            return 0;
+        }
+        if self.target_cpu_free > t + memo.in_mem {
+            return 0;
+        }
+        self.tx_chan.reap_acks(ready);
+        self.rx_chan.reap_acks(pkt_arr);
+        if self.tx_chan.buf.pending() != 0
+            || !self.tx_chan.pending_acks.is_empty()
+            || self.rx_chan.buf.pending() != 0
+            || !self.rx_chan.pending_acks.is_empty()
+        {
+            return 0;
+        }
+        // Credit-pool periodicity: every replayed message runs the same
+        // consume → drain → (replenish on batch boundary) cycle on
+        // identically-sized TLPs, so the pool state must cycle with period
+        // `update_batch` messages. Prove it from the current phase on
+        // clones; a pool that would stall or not return exactly forfeits
+        // the bulk run. (The credit ops read only the TLP's size class.)
+        let tlp0 = Tlp::pio_chunk(bband_pcie::TlpId(0));
+        let Some(fc_recv) = self.tx_chan.fc_recv.as_ref() else {
+            return 0;
+        };
+        let period = fc_recv.update_batch() as u64;
+        {
+            let mut issue = self.fc_issue.clone();
+            let mut recv = fc_recv.clone();
+            for _ in 0..period {
+                if issue.consume(&tlp0).is_err() {
+                    return 0;
+                }
+                if let Some((hdr, data)) = recv.drain(&tlp0) {
+                    issue.replenish(hdr, data);
+                }
+            }
+            if issue != self.fc_issue || recv != *fc_recv {
+                return 0;
+            }
+        }
+        // Run length: the same draws `try_replay` takes per message, in
+        // reference order (data leg, then ACK leg), short-circuiting on the
+        // first drop. The faulting message's draws stay unconsumed.
+        let remaining = messages - msg;
+        let p = self.plan.loss_probability;
+        let mut fab = self.fabric.rng_snapshot();
+        let k = if p > 0.0 {
+            let mut k = 0u64;
+            while k < remaining {
+                let mut probe = fab.clone();
+                if probe.next_bool(p) || probe.next_bool(p) {
+                    break;
+                }
+                fab = probe;
+                k += 1;
+            }
+            k
+        } else {
+            remaining
+        };
+        if k == 0 {
+            return 0;
+        }
+        // Commit: RNG stream, credit phase (whole periods are exact
+        // no-ops, proven above), id/sequence/PSN counters, the final
+        // message's in-flight ACKs and clocks, and the statistics folds.
+        self.fabric.rng_restore(fab);
+        for _ in 0..k % period {
+            self.fc_issue
+                .consume(&tlp0)
+                .expect("periodicity proof covered every phase");
+            if let Some((hdr, data)) = self
+                .tx_chan
+                .fc_recv
+                .as_mut()
+                .expect("checked above")
+                .drain(&tlp0)
+            {
+                self.fc_issue.replenish(hdr, data);
+            }
+        }
+        // Two TLP ids per message, TX leg first.
+        let base = self.ids.skip(2 * k);
+        let last_t = self.post_time[(msg + k - 1) as usize];
+        let nic = last_t + memo.nic;
+        let rx_arr = last_t + memo.rx_arr;
+        self.tx_chan.skip_delivered(
+            k,
+            Tlp::pio_chunk(bband_pcie::TlpId(base + 2 * (k - 1))),
+            nic,
+            nic + memo.pcie,
+        );
+        self.rx_chan.skip_delivered(
+            k,
+            Tlp::payload_deliver(bband_pcie::TlpId(base + 2 * k - 1), 8),
+            rx_arr,
+            rx_arr + memo.pcie,
+        );
+        self.rc_tx.skip_delivered(k);
+        self.rc_rx.skip_delivered(k);
+        self.target_cpu_free = last_t + memo.total;
+        self.completed += k;
+        // The reference folds one f64 add per message; float addition is
+        // not associative, so the sum must stay sequential for the mean to
+        // come out bit-equal.
+        for _ in 0..k {
+            self.lat_sum_ns += memo.total_ns;
+        }
+        self.lat_min_ns = self.lat_min_ns.min(memo.total_ns);
+        self.lat_max_ns = self.lat_max_ns.max(memo.total_ns);
+        k
+    }
+
+    /// Attempt to complete message `msg`, posted at `t`, by replaying the
+    /// memoized fault-free chain instead of running the event loop. All
+    /// checks that can dirty the attempt come first and touch nothing (or
+    /// only state the fallback re-derives identically); the chain commits
+    /// all-or-nothing. Returns `false` to route the message through
+    /// [`FaultSim::post`] as usual.
+    fn try_replay(&mut self, msg: u64, t: SimTime) -> bool {
+        let Some(memo) = self.memo else {
+            return false;
+        };
+        if !self.rep_verified {
+            return false;
+        }
+        // Quiescence: no pending events (a live event means an earlier
+        // message is still recovering, or a stale poll would observe the
+        // replay mid-flight), no parked MMIO writes, no unacked transport
+        // packets.
+        if !self.queue.is_empty() || !self.credit_waiters.is_empty() || self.rc_tx.pending() != 0 {
+            return false;
+        }
+        let ready = t + memo.ready;
+        let nic = t + memo.nic;
+        let pkt_arr = t + memo.pkt_arr;
+        // Link FIFO serialization: an earlier traversal still holds a
+        // later clock only while recovery is draining.
+        if self.tx_chan.clock > ready || self.rx_chan.clock > pkt_arr {
+            return false;
+        }
+        // The target CPU must be free when the payload lands, or the
+        // reference path would emit a `reap_wait` stage.
+        if self.target_cpu_free > t + memo.in_mem {
+            return false;
+        }
+        // The NIC departure must not sit in an injected stall window.
+        for w in &self.plan.nic_stalls {
+            let start = SimTime::from_ns(w.start_ns);
+            let end = start + SimDuration::from_ns(w.duration_ns);
+            if nic >= start && nic < end {
+                return false;
+            }
+        }
+        // Credit gate (non-mutating preview of `consume`).
+        if !self
+            .fc_issue
+            .can_issue(&Tlp::pio_chunk(bband_pcie::TlpId(0)))
+        {
+            return false;
+        }
+        // Markov stall: one real query. The schedule extends lazily and
+        // monotonically, so on a dirty fallback the reference path's query
+        // at the same instant returns the same window without drawing.
+        if let Some(sched) = self.stall_sched.as_mut() {
+            let (_, window) = sched.defer_with_window(nic);
+            if window.is_some() {
+                return false;
+            }
+        }
+        // Replay-buffer room, after reaping ACK DLLPs due by the depart
+        // time — exactly the reap `traverse` would perform first, so a
+        // dirty fallback re-reaps idempotently.
+        self.tx_chan.reap_acks(ready);
+        if self.tx_chan.buf.pending() >= REPLAY_SLOTS {
+            return false;
+        }
+        self.rx_chan.reap_acks(pkt_arr);
+        if self.rx_chan.buf.pending() >= REPLAY_SLOTS {
+            return false;
+        }
+        // Speculative RNG predraws, on clones, in each stream's reference
+        // order. Streams are seeded independently, so only per-stream
+        // order matters. Any fault: drop the clones — the event loop then
+        // redraws the identical values from the untouched originals.
+        let p_corrupt = self.plan.corruption_probability;
+        let p_loss = self.plan.loss_probability;
+        let mut tx_rng = self.tx_chan.link.rng_snapshot();
+        if p_corrupt > 0.0 && tx_rng.next_bool(p_corrupt) {
+            return false;
+        }
+        let mut fab_rng = self.fabric.rng_snapshot();
+        let mut burst = self.burst.clone();
+        // Data leg: `fabric_drops` always advances both channels.
+        let data_iid = p_loss > 0.0 && fab_rng.next_bool(p_loss);
+        let data_burst = burst.as_mut().is_some_and(|b| b.drops());
+        if data_iid || data_burst {
+            return false;
+        }
+        let mut rx_rng = self.rx_chan.link.rng_snapshot();
+        if p_corrupt > 0.0 && rx_rng.next_bool(p_corrupt) {
+            return false;
+        }
+        // ACK flight (drawn only after a clean delivery).
+        let ack_iid = p_loss > 0.0 && fab_rng.next_bool(p_loss);
+        let ack_burst = burst.as_mut().is_some_and(|b| b.drops());
+        if ack_iid || ack_burst {
+            return false;
+        }
+        // Every draw came up clean: commit the advanced streams and replay.
+        self.tx_chan.link.rng_restore(tx_rng);
+        self.rx_chan.link.rng_restore(rx_rng);
+        self.fabric.rng_restore(fab_rng);
+        self.burst = burst;
+        self.replay_chain(msg, t, &memo);
+        true
+    }
+
+    /// Commit one memoized fault-free lifetime: the same substrate
+    /// mutations, stage records (identical ring order, names, args, and
+    /// edges), and statistics folds the event loop performs — minus the
+    /// event queue, the silent retransmission timer, and the RNG draws
+    /// already taken speculatively in [`FaultSim::try_replay`].
+    fn replay_chain(&mut self, msg: u64, t: SimTime, memo: &ChainMemo) {
+        let hlp_done = t + memo.hlp_done;
+        let ready = t + memo.ready;
+        let nic = t + memo.nic;
+        let at_switch = t + memo.at_switch;
+        let pkt_arr = t + memo.pkt_arr;
+        let ack_arr = t + memo.ack_arr;
+        let rx_arr = t + memo.rx_arr;
+        let in_mem = t + memo.in_mem;
+        let llp_done = t + memo.llp_done;
+        let done = t + memo.total;
+
+        // One predictable branch instead of ten per-call collector probes:
+        // with no collector installed every `trace::stage` is a no-op
+        // returning `SpanId::NONE`, so eliding the calls is unobservable.
+        let ins = self.instrumented;
+        let st = |layer, name, s: SimTime, e: SimTime, arg, deps: &[trace::SpanId]| {
+            if ins {
+                trace::stage(layer, name, s, e, arg, deps)
+            } else {
+                trace::SpanId::NONE
+            }
+        };
+
+        // Initiator CPU (`post`).
+        let h = st(trace::Layer::Hlp, "HLP_post", t, hlp_done, msg, &[]);
+        let l = st(trace::Layer::Llp, "LLP_post", hlp_done, ready, msg, &[h]);
+        let tlp = Tlp::pio_chunk(self.ids.next());
+        self.fc_issue
+            .consume(&tlp)
+            .expect("try_replay verified credit availability");
+
+        // TX PCIe (`transmit` → `traverse`, corruption draw pre-taken).
+        let seq = self
+            .tx_chan
+            .buf
+            .send(tlp)
+            .expect("try_replay verified replay-buffer room");
+        let RxVerdict::Accept { ack_up_to } = self.tx_chan.rx.receive(seq, false) else {
+            unreachable!("uncorrupted in-order TLP is accepted")
+        };
+        self.tx_chan
+            .pending_acks
+            .push_back((ack_up_to, nic + memo.pcie));
+        let grant = self.tx_chan.fc_recv.as_mut().and_then(|fc| fc.drain(&tlp));
+        self.tx_chan.clock = nic;
+        let tx = st(trace::Layer::PcieTx, "TX PCIe", ready, nic, tlp.id.0, &[l]);
+        if let Some((hdr, data)) = grant {
+            // The UpdateFC DLLP lands at `nic + pcie`, strictly before the
+            // next post (memo validity) with no credit waiters, so its
+            // only effect is the replenish — applied inline.
+            self.fc_issue.replenish(hdr, data);
+        }
+
+        // Fabric (`launch`, loss draws pre-taken).
+        let pkt = Packet::message(PacketId(msg), PacketKind::Send, NodeId(0), NodeId(1), 8);
+        let psn = self.rc_tx.send(pkt, nic);
+        let w = st(trace::Layer::Wire, "Wire", nic, at_switch, msg, &[tx]);
+        let s = st(
+            trace::Layer::Switch,
+            "Switch",
+            at_switch,
+            pkt_arr,
+            msg,
+            &[w],
+        );
+        if ins {
+            // Untraced, the launch table would only store `SpanId::NONE` —
+            // the same value readers default to on a missing entry.
+            self.note_launch(psn, s);
+        }
+
+        // Target NIC + RX PCIe (`deliver`).
+        let RcVerdict::Deliver { ack } = self.rc_rx.on_packet(psn) else {
+            unreachable!("in-sequence packet is delivered")
+        };
+        let tlp2 = Tlp::payload_deliver(self.ids.next(), 8);
+        let seq2 = self
+            .rx_chan
+            .buf
+            .send(tlp2)
+            .expect("try_replay verified replay-buffer room");
+        let RxVerdict::Accept { ack_up_to: a2 } = self.rx_chan.rx.receive(seq2, false) else {
+            unreachable!("uncorrupted in-order TLP is accepted")
+        };
+        self.rx_chan
+            .pending_acks
+            .push_back((a2, rx_arr + memo.pcie));
+        self.rx_chan.clock = rx_arr;
+        let rx = st(
+            trace::Layer::PcieRx,
+            "RX PCIe",
+            pkt_arr,
+            rx_arr,
+            tlp2.id.0,
+            &[s],
+        );
+
+        // Target memory + CPU reap.
+        let mem = st(
+            trace::Layer::Memory,
+            "RC-to-MEM(8B)",
+            rx_arr,
+            in_mem,
+            msg,
+            &[rx],
+        );
+        let lp = st(trace::Layer::Llp, "LLP_prog", in_mem, llp_done, msg, &[mem]);
+        self.target_cpu_span = st(trace::Layer::Hlp, "HLP_rx_prog", llp_done, done, msg, &[lp]);
+        self.target_cpu_free = done;
+        if ins {
+            bband_metrics::record("e2e_latency", memo.total);
+        }
+        self.completed += 1;
+        self.lat_sum_ns += memo.total_ns;
+        self.lat_min_ns = self.lat_min_ns.min(memo.total_ns);
+        self.lat_max_ns = self.lat_max_ns.max(memo.total_ns);
+
+        // Transport ACK flight and acknowledgement; the retransmission
+        // timer the loop would arm and later no-op is elided entirely.
+        let _ = st(
+            trace::Layer::Transport,
+            "ack_flight",
+            pkt_arr,
+            ack_arr,
+            0,
+            &[s],
+        );
+        self.rc_tx.on_ack(ack);
+    }
+
+    /// Fold the run into its terminal statistics.
+    fn finish(
+        mut self,
+        messages: u64,
+        aborted: Option<RetryExhausted>,
+    ) -> (FaultRunStats, Option<RetryExhausted>) {
         // Fold the substrate diagnostics into the per-layer counter block.
         self.counters.rc_retransmissions = self.rc_tx.retransmissions;
         self.counters.rc_naks = self.rc_tx.naks;
@@ -1102,7 +1845,20 @@ pub fn run_e2e_under_faults(
     messages: u64,
     seed: u64,
 ) -> Result<FaultRunStats, RetryExhausted> {
-    let (stats, aborted) = run_raw(cal, plan, messages, seed);
+    run_e2e_under_faults_on(active_engine_path(), cal, plan, messages, seed)
+}
+
+/// [`run_e2e_under_faults`] on an explicit engine path — the equivalence
+/// tests and the bench emitter pin both sides instead of toggling the
+/// process-wide default.
+pub fn run_e2e_under_faults_on(
+    path: EnginePath,
+    cal: &Calibration,
+    plan: &FaultPlan,
+    messages: u64,
+    seed: u64,
+) -> Result<FaultRunStats, RetryExhausted> {
+    let (stats, aborted) = run_raw_on(path, cal, plan, messages, seed);
     match aborted {
         Some(e) => Err(e),
         None => Ok(stats),
@@ -1117,7 +1873,18 @@ pub(crate) fn run_raw(
     messages: u64,
     seed: u64,
 ) -> (FaultRunStats, Option<RetryExhausted>) {
-    FaultSim::new(cal, plan, messages, seed).run(messages)
+    run_raw_on(active_engine_path(), cal, plan, messages, seed)
+}
+
+/// [`run_raw`] on an explicit engine path.
+pub(crate) fn run_raw_on(
+    path: EnginePath,
+    cal: &Calibration,
+    plan: &FaultPlan,
+    messages: u64,
+    seed: u64,
+) -> (FaultRunStats, Option<RetryExhausted>) {
+    FaultSim::new(cal, plan, messages, seed, path).run(messages)
 }
 
 /// The `latency_under_loss` experiment: sweep fabric loss probability over
@@ -1131,12 +1898,26 @@ pub fn latency_under_loss(
     seed: u64,
     pool: &WorkerPool,
 ) -> Vec<LossPoint> {
+    latency_under_loss_on(active_engine_path(), cal, base, grid, messages, seed, pool)
+}
+
+/// [`latency_under_loss`] on an explicit engine path, resolved once here
+/// so every pool task runs the same implementation.
+pub fn latency_under_loss_on(
+    path: EnginePath,
+    cal: &Calibration,
+    base: &FaultPlan,
+    grid: &[f64],
+    messages: u64,
+    seed: u64,
+    pool: &WorkerPool,
+) -> Vec<LossPoint> {
     let points: Vec<f64> = grid.to_vec();
-    pool.map(points, |idx, loss| {
+    pool.map(points, move |idx, loss| {
         let mut plan = base.clone();
         plan.loss_probability = loss;
         let task_seed = Pcg64::new(seed).fork(idx as u64).next_u64();
-        let (stats, aborted) = FaultSim::new(cal, &plan, messages, task_seed).run(messages);
+        let (stats, aborted) = FaultSim::new(cal, &plan, messages, task_seed, path).run(messages);
         LossPoint {
             loss_probability: loss,
             stats,
@@ -1467,6 +2248,194 @@ mod tests {
             .unwrap()
             .is_zero());
         assert!(FaultPlan::from_json_str("{\"markov_stall\": 3}").is_err());
+    }
+
+    /// Everything one run can observably produce: terminal stats (with
+    /// the recovery-counter ledger), abort outcome, the full trace-span
+    /// ring, and the metrics registry contents.
+    type Observed = (
+        (FaultRunStats, Option<RetryExhausted>),
+        Vec<trace::SpanRecord>,
+        bband_metrics::TaskMetrics,
+    );
+
+    fn observe(path: EnginePath, plan: &FaultPlan, messages: u64, seed: u64) -> Observed {
+        let c = cal();
+        let ((run, trace), metrics) = bband_metrics::collect(|| {
+            trace::collect(1 << 14, || run_raw_on(path, &c, plan, messages, seed))
+        });
+        (run, trace.spans, metrics)
+    }
+
+    fn assert_paths_identical(plan: &FaultPlan, messages: u64, seed: u64) {
+        let fast = observe(EnginePath::Fast, plan, messages, seed);
+        let reference = observe(EnginePath::Reference, plan, messages, seed);
+        assert_eq!(fast.0, reference.0, "stats diverged: {plan:?} seed {seed}");
+        assert_eq!(
+            fast.1, reference.1,
+            "trace spans diverged: {plan:?} seed {seed}"
+        );
+        assert_eq!(
+            fast.2, reference.2,
+            "metrics diverged: {plan:?} seed {seed}"
+        );
+    }
+
+    /// The fast path must be byte-identical to the reference event loop —
+    /// stats, counters, spans, and metrics — across every fault family,
+    /// including plans that defeat memoization entirely.
+    #[test]
+    fn fast_path_is_byte_identical_to_reference() {
+        let mut plans: Vec<(&str, FaultPlan)> = vec![("none", FaultPlan::none())];
+        let mut p = FaultPlan::none();
+        p.loss_probability = 1e-3;
+        plans.push(("loss-1e3", p.clone()));
+        p.loss_probability = 0.05;
+        plans.push(("loss-5e2", p));
+        let mut p = FaultPlan::none();
+        p.corruption_probability = 0.03;
+        plans.push(("corruption", p));
+        let mut p = FaultPlan::none();
+        p.burst_loss = Some(GilbertElliott {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.3,
+            loss_good: 0.0,
+            loss_bad: 0.8,
+        });
+        plans.push(("burst", p));
+        let mut p = FaultPlan::none();
+        p.markov_stall = Some(MarkovStall {
+            mean_up_ns: 4_000.0,
+            mean_down_ns: 2_000.0,
+        });
+        plans.push(("markov", p));
+        let mut p = FaultPlan::none();
+        p.credits = Some(CreditConfig {
+            hdr: 1,
+            data: 64,
+            update_batch: 1,
+        });
+        p.nic_stalls = vec![StallWindow {
+            start_ns: 3_000,
+            duration_ns: 10_000,
+        }];
+        plans.push(("credit-starved", p));
+        // Memoization-defeating: a retry timeout inside the ACK round trip
+        // forces timer recovery on every message (memo is `None`).
+        let mut p = FaultPlan::none();
+        p.retry.timeout_ns = 500;
+        plans.push(("timeout-inside-rtt", p));
+        // Abort path: total loss trips the retry budget on both engines.
+        let mut p = FaultPlan::none();
+        p.loss_probability = 1.0;
+        p.retry.max_retries = 3;
+        plans.push(("total-loss", p));
+        // Everything at once.
+        let mut p = FaultPlan::none();
+        p.loss_probability = 2e-3;
+        p.corruption_probability = 1e-3;
+        p.burst_loss = Some(GilbertElliott {
+            p_good_to_bad: 0.01,
+            p_bad_to_good: 0.4,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        });
+        p.markov_stall = Some(MarkovStall {
+            mean_up_ns: 20_000.0,
+            mean_down_ns: 1_000.0,
+        });
+        plans.push(("combined", p));
+        for (name, plan) in &plans {
+            for seed in [1u64, 42, 0x5EED] {
+                assert_paths_identical(plan, 200, seed);
+            }
+            // Also untraced/unmetered (the pure-throughput configuration).
+            let c = cal();
+            for seed in [7u64, 1234] {
+                assert_eq!(
+                    run_raw_on(EnginePath::Fast, &c, plan, 150, seed),
+                    run_raw_on(EnginePath::Reference, &c, plan, 150, seed),
+                    "untraced stats diverged on {name}"
+                );
+            }
+        }
+    }
+
+    /// The fast loop keeps the heap bounded by in-flight work: a long
+    /// lossy run must not accumulate one Post event per message or one
+    /// stale Timer poll per RTO reset (the silent-poll index cancels
+    /// superseded timers, and tombstones are purged).
+    #[test]
+    fn fast_path_elides_silent_polls() {
+        let c = cal();
+        let mut plan = FaultPlan::none();
+        plan.loss_probability = 0.02;
+        let fast = run_e2e_under_faults_on(EnginePath::Fast, &c, &plan, 2_000, 9).unwrap();
+        let reference =
+            run_e2e_under_faults_on(EnginePath::Reference, &c, &plan, 2_000, 9).unwrap();
+        assert_eq!(fast, reference);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        /// Randomized fast-vs-reference byte-identity: stats, counters,
+        /// spans, and metrics, across random plans and seeds — including
+        /// plans that defeat memoization (short timeouts, stall windows,
+        /// heavy loss that trips the retry budget).
+        #[test]
+        fn fast_path_matches_reference_on_random_plans(
+            seed in proptest::prelude::any::<u64>(),
+            messages in 1u64..120,
+            // The offline proptest shim has no `prop_oneof`/`prop_map`, so
+            // draw a selector + magnitudes and build each variant by hand.
+            loss_sel in 0u64..4,
+            loss_mag in 0.0001f64..0.05,
+            corruption_sel in 0u64..2,
+            corruption_mag in 0.0001f64..0.05,
+            burst_sel in 0u64..2,
+            burst_gb in 0.001f64..0.1,
+            burst_bg in 0.05f64..0.9,
+            burst_lb in 0.1f64..0.9,
+            markov_sel in 0u64..2,
+            markov_up in 2_000.0f64..30_000.0,
+            markov_down in 500.0f64..4_000.0,
+            stall_sel in 0u64..2,
+            stall_start_ns in 0u64..50_000,
+            stall_duration_ns in 100u64..20_000,
+            timeout_sel in 0u64..2,
+            timeout_rand_ns in 500u64..5_000,
+        ) {
+            let mut plan = FaultPlan::none();
+            plan.loss_probability = match loss_sel {
+                0 | 1 => 0.0,
+                2 => loss_mag,
+                _ => 1.0,
+            };
+            plan.corruption_probability = if corruption_sel == 0 { 0.0 } else { corruption_mag };
+            plan.burst_loss = (burst_sel == 1).then_some(GilbertElliott {
+                p_good_to_bad: burst_gb,
+                p_bad_to_good: burst_bg,
+                loss_good: 0.0,
+                loss_bad: burst_lb,
+            });
+            plan.markov_stall = (markov_sel == 1).then_some(MarkovStall {
+                mean_up_ns: markov_up,
+                mean_down_ns: markov_down,
+            });
+            if stall_sel == 1 {
+                plan.nic_stalls = vec![StallWindow {
+                    start_ns: stall_start_ns,
+                    duration_ns: stall_duration_ns,
+                }];
+            }
+            plan.retry.timeout_ns = if timeout_sel == 0 { 2_000 } else { timeout_rand_ns };
+            plan.retry.max_retries = 6;
+            let fast = observe(EnginePath::Fast, &plan, messages, seed);
+            let reference = observe(EnginePath::Reference, &plan, messages, seed);
+            proptest::prop_assert_eq!(&fast.0, &reference.0);
+            proptest::prop_assert_eq!(&fast.1, &reference.1);
+            proptest::prop_assert_eq!(&fast.2, &reference.2);
+        }
     }
 
     /// The pooled sweep must be bit-identical to a serial one.

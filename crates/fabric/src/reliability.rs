@@ -164,6 +164,14 @@ impl RcSender {
         self.unacked.len()
     }
 
+    /// Bulk-advance for memoized replay: `n` send/ACK round trips that each
+    /// completed before the next began. Requires an idle sender on entry
+    /// and leaves it idle — only the PSN counter moves.
+    pub fn skip_delivered(&mut self, n: u64) {
+        assert!(self.unacked.is_empty(), "bulk skip requires an idle sender");
+        self.next_psn = Psn(((self.next_psn.0 as u64 + n) % PSN_MOD as u64) as u32);
+    }
+
     /// The current retransmission timeout including exponential backoff:
     /// `timeout × 2^retries`, saturating, shift capped.
     pub fn effective_timeout(&self) -> SimDuration {
@@ -228,6 +236,12 @@ impl RcReceiver {
         }
     }
 
+    /// Bulk-advance for memoized replay: `n` in-sequence deliveries.
+    /// Equivalent to `n` delivering calls to [`RcReceiver::on_packet`].
+    pub fn skip_delivered(&mut self, n: u64) {
+        self.expected = ((self.expected as u64 + n) % PSN_MOD as u64) as u32;
+    }
+
     /// Process an arriving packet.
     pub fn on_packet(&mut self, psn: Psn) -> RcVerdict {
         let expected = Psn(self.expected);
@@ -274,6 +288,19 @@ impl LossyFabric {
             self.dropped += 1;
         }
         d
+    }
+
+    /// Clone of the internal RNG stream, for speculative draws: predict
+    /// future [`LossyFabric::drops`] outcomes on the clone without mutating
+    /// the fabric state or its diagnostics counters.
+    pub fn rng_snapshot(&self) -> bband_sim::Pcg64 {
+        self.rng.clone()
+    }
+
+    /// Commit a speculatively advanced RNG stream (from
+    /// [`LossyFabric::rng_snapshot`]) back into the fabric.
+    pub fn rng_restore(&mut self, rng: bband_sim::Pcg64) {
+        self.rng = rng;
     }
 }
 

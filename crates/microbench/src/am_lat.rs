@@ -127,6 +127,7 @@ pub fn am_lat(cfg: &AmLatConfig) -> AmLatReport {
         if iter >= cfg.warmup {
             let rtt = w0.now().since(t0);
             observed.push(rtt / 2);
+            bband_metrics::record("am_lat_iter", rtt / 2);
         }
     }
 

@@ -171,7 +171,9 @@ pub fn osu_latency(cfg: &OsuLatConfig) -> OsuLatReport {
         r0.recv(&mut cluster, tag, &mut analyzer);
         bench.update(r0.ucp_mut().uct_mut().cpu_mut());
         if iter >= cfg.warmup {
-            observed.push(r0.now().since(t0) / 2);
+            let one_way = r0.now().since(t0) / 2;
+            observed.push(one_way);
+            bband_metrics::record("osu_iter", one_way);
         }
     }
     OsuLatReport { observed }

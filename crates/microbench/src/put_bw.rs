@@ -123,6 +123,9 @@ pub fn put_bw(cfg: &PutBwConfig) -> PutBwReport {
     };
     for d in analyzer.injection_deltas() {
         observed.push(d);
+        // Self-gated: feeds the live-microbenchmark quantile tables when a
+        // metrics collector is installed, free otherwise.
+        bband_metrics::record("put_bw_iter", d);
     }
     PutBwReport {
         observed,

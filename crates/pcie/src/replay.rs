@@ -113,6 +113,23 @@ impl ReplayBuffer {
     pub fn pending(&self) -> usize {
         self.unacked.len()
     }
+
+    /// Bulk-advance for memoized replay: commit `n` in-order sends of which
+    /// the first `n - 1` have already been ACKed, leaving only `last`
+    /// outstanding — the state `n` interleaved send/ACK rounds produce.
+    /// Requires a drained buffer on entry; returns the sequence number
+    /// assigned to `last`.
+    pub fn skip_delivered(&mut self, n: u64, last: Tlp) -> SeqNum {
+        assert!(n > 0);
+        assert!(
+            self.unacked.is_empty(),
+            "bulk skip requires a drained replay buffer"
+        );
+        let seq = SeqNum(((self.next_seq.0 as u64 + n - 1) % SEQ_MOD as u64) as u16);
+        self.next_seq = seq.next();
+        self.unacked.push_back((seq, last));
+        seq
+    }
 }
 
 /// Receiver-side data-link state.
@@ -150,6 +167,12 @@ impl DllReceiver {
             expected: seq.0,
             ..Self::default()
         }
+    }
+
+    /// Bulk-advance for memoized replay: accept `n` in-order uncorrupted
+    /// TLPs. Equivalent to `n` accepting calls to [`DllReceiver::receive`].
+    pub fn skip_delivered(&mut self, n: u64) {
+        self.expected = ((self.expected as u64 + n) % SEQ_MOD as u64) as u16;
     }
 
     /// Process an arriving TLP with its sequence number and an
@@ -202,6 +225,20 @@ impl LossyLink {
             trace::instant_now(trace::Layer::PcieDll, "lcrc_corrupt", 0);
         }
         hit
+    }
+
+    /// Clone of the internal RNG stream, for speculative draws: predict the
+    /// outcome of future [`LossyLink::corrupts`] calls on the clone without
+    /// mutating the link or emitting trace instants.
+    pub fn rng_snapshot(&self) -> Pcg64 {
+        self.rng.clone()
+    }
+
+    /// Commit a speculatively advanced RNG stream (from
+    /// [`LossyLink::rng_snapshot`]) back into the link, consuming the draws
+    /// that were predicted.
+    pub fn rng_restore(&mut self, rng: Pcg64) {
+        self.rng = rng;
     }
 }
 

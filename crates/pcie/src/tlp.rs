@@ -111,6 +111,15 @@ impl TlpIdGen {
         self.0 += 1;
         id
     }
+
+    /// Bulk-advance for memoized replay: consume `n` ids at once, returning
+    /// the raw value of the first. Equivalent to `n` calls to
+    /// [`TlpIdGen::next`].
+    pub fn skip(&mut self, n: u64) -> u64 {
+        let base = self.0;
+        self.0 += n;
+        base
+    }
 }
 
 /// Convenience constructors matching the protocol steps of §2.

@@ -18,6 +18,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
+use std::collections::HashSet;
 
 /// An event scheduled at a virtual time. Equal-time events preserve
 /// insertion order (`seq`), so the simulation is deterministic. Orders
@@ -64,6 +65,13 @@ impl<E> Ord for ScheduledEvent<E> {
 /// O(d·log_d n) comparisons but O(log_d n) line fetches).
 const ARITY: usize = 4;
 
+/// Handle to a scheduled event, returned by [`EventQueue::push`]. Pass it
+/// to [`EventQueue::cancel`] to retract the event before it fires. Keys are
+/// never reused, so a stale key (for an event that already fired) simply
+/// fails to cancel anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
 /// A total-ordered, FIFO-stable event queue over payload type `E`.
 ///
 /// Internally an indexed 4-ary min-heap on `(time, seq)` in a flat `Vec`.
@@ -79,6 +87,11 @@ pub struct EventQueue<E> {
     /// causality violations and panic.
     watermark: SimTime,
     total_fired: u64,
+    /// Sequence numbers of cancelled-but-not-yet-drained entries. Drained
+    /// lazily at the root during pops, and eagerly purged whenever the
+    /// tombstones outnumber live entries, so long lossy runs with frequent
+    /// RTO timer resets keep the heap at O(live events).
+    cancelled: HashSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -95,15 +108,17 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             watermark: SimTime::ZERO,
             total_fired: 0,
+            cancelled: HashSet::new(),
         }
     }
 
-    /// Schedule `event` to fire at absolute time `at`.
+    /// Schedule `event` to fire at absolute time `at`. Returns a key that
+    /// can retract the event via [`EventQueue::cancel`].
     ///
     /// # Panics
     /// If `at` is earlier than the last popped event's time (an effect
     /// scheduled before its cause).
-    pub fn push(&mut self, at: SimTime, event: E) {
+    pub fn push(&mut self, at: SimTime, event: E) -> EventKey {
         assert!(
             at >= self.watermark,
             "causality violation: scheduling at {at} behind watermark {}",
@@ -113,35 +128,122 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(ScheduledEvent { at, seq, event });
         self.sift_up(self.heap.len() - 1);
+        EventKey(seq)
     }
 
     /// Schedule `event` to fire `after` from `from`.
-    pub fn push_after(&mut self, from: SimTime, after: SimDuration, event: E) {
-        self.push(from + after, event);
+    pub fn push_after(&mut self, from: SimTime, after: SimDuration, event: E) -> EventKey {
+        self.push(from + after, event)
     }
 
-    /// Time of the earliest pending event, if any.
+    /// Retract a still-pending event. The entry becomes a tombstone that is
+    /// skipped (never delivered) by subsequent pops; tombstones are purged
+    /// from the heap in bulk once they outnumber live entries. Returns
+    /// `false` if `key` was already cancelled.
+    ///
+    /// Callers must only cancel keys of events that have not fired yet —
+    /// keys are unique for the queue's lifetime, so cancelling a fired key
+    /// leaks one tombstone slot until the next purge but cannot suppress an
+    /// unrelated event.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        let newly = self.cancelled.insert(key.0);
+        if newly && self.cancelled.len() * 2 > self.heap.len() {
+            self.purge();
+        }
+        newly
+    }
+
+    /// Drop every tombstoned entry and restore the heap in O(n).
+    fn purge(&mut self) {
+        if self.cancelled.is_empty() {
+            return;
+        }
+        let cancelled = std::mem::take(&mut self.cancelled);
+        self.heap.retain(|e| !cancelled.contains(&e.seq));
+        // Floyd heapify: sift parents bottom-up.
+        if self.heap.len() > 1 {
+            for i in (0..=(self.heap.len() - 2) / ARITY).rev() {
+                self.sift_down(i);
+            }
+        }
+    }
+
+    /// Time of the earliest pending entry, if any. May report a cancelled
+    /// entry's (earlier or equal) time; use [`EventQueue::next_live_time`]
+    /// when an exact answer is needed.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.first().map(|e| e.at)
     }
 
-    /// Pop the earliest event if it is due at or before `limit`.
-    ///
-    /// The due check is one comparison against the root — the entry is
-    /// then extracted directly, with no second peek.
-    pub fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
-        if self.heap.first()?.at > limit {
-            return None;
+    /// Time of the earliest *live* (non-cancelled) event, draining any
+    /// tombstones blocking the root.
+    pub fn next_live_time(&mut self) -> Option<SimTime> {
+        loop {
+            let root = self.heap.first()?;
+            if !self.cancelled.contains(&root.seq) {
+                return Some(root.at);
+            }
+            self.drop_root();
         }
+    }
+
+    /// Remove the root entry without delivering it (tombstone drain).
+    fn drop_root(&mut self) {
         let last = self.heap.len() - 1;
         self.heap.swap(0, last);
         let ev = self.heap.pop().expect("root exists");
         if !self.heap.is_empty() {
             self.sift_down(0);
         }
-        self.watermark = ev.at;
-        self.total_fired += 1;
-        Some((ev.at, ev.event))
+        self.cancelled.remove(&ev.seq);
+    }
+
+    /// Pop the earliest live event if it is due at or before `limit`.
+    ///
+    /// The due check is one comparison against the root — the entry is
+    /// then extracted directly, with no second peek. Tombstoned entries
+    /// encountered at the root are drained silently.
+    pub fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let root = self.heap.first()?;
+            if root.at > limit {
+                return None;
+            }
+            if self.cancelled.contains(&root.seq) {
+                self.drop_root();
+                continue;
+            }
+            let last = self.heap.len() - 1;
+            self.heap.swap(0, last);
+            let ev = self.heap.pop().expect("root exists");
+            if !self.heap.is_empty() {
+                self.sift_down(0);
+            }
+            self.watermark = ev.at;
+            self.total_fired += 1;
+            return Some((ev.at, ev.event));
+        }
+    }
+
+    /// Pop the earliest live due event plus every further live event
+    /// sharing its exact timestamp, in FIFO order, appending to `out`.
+    /// Returns the number of events delivered (0 when nothing is due).
+    ///
+    /// Go-back-N retransmission bursts and credit-update fan-outs land
+    /// back-to-back at identical virtual times; draining them in one heap
+    /// transaction avoids a full sift per event on the hot path.
+    pub fn pop_batch(&mut self, limit: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let Some(first) = self.pop_due(limit) else {
+            return 0;
+        };
+        let t = first.0;
+        out.push(first);
+        let mut n = 1;
+        while let Some(ev) = self.pop_due(t) {
+            out.push(ev);
+            n += 1;
+        }
+        n
     }
 
     /// Restore the heap property upward from `i` after a push.
@@ -188,14 +290,20 @@ impl<E> EventQueue<E> {
         self.pop_due(SimTime::MAX)
     }
 
-    /// Number of pending events.
+    /// Number of pending *live* events (cancelled entries excluded).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
-    /// True when no events are pending.
+    /// True when no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Physical heap occupancy including not-yet-drained tombstones
+    /// (diagnostics; bounded at `< 2 × len() + 1` by the purge policy).
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// Count of events fired since construction (diagnostics).
@@ -358,6 +466,108 @@ mod tests {
         // Now the watermark is 2: same-time pushes fine, earlier panics.
         q.push(SimTime::from_ns(2), 'c');
         assert_eq!(q.pop(), Some((SimTime::from_ns(2), 'c')));
+    }
+
+    #[test]
+    fn cancel_suppresses_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_ns(10), "a");
+        q.push(SimTime::from_ns(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(20), "b")));
+        assert!(q.is_empty());
+        assert_eq!(q.total_fired(), 1, "cancelled events never count as fired");
+    }
+
+    #[test]
+    fn cancelled_root_does_not_advance_watermark() {
+        let mut q = EventQueue::new();
+        let late = q.push(SimTime::from_ns(100), "late");
+        q.cancel(late);
+        // Draining the tombstone must not move the watermark to 100.
+        assert_eq!(q.next_live_time(), None);
+        q.push(SimTime::from_ns(5), "early");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(5), "early")));
+    }
+
+    #[test]
+    fn next_live_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_ns(1), 'a');
+        q.push(SimTime::from_ns(7), 'b');
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(1)));
+        q.cancel(a);
+        assert_eq!(q.next_live_time(), Some(SimTime::from_ns(7)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(7), 'b')));
+    }
+
+    #[test]
+    fn pop_batch_drains_equal_timestamps_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(50);
+        for i in 0..5 {
+            q.push(t, i);
+        }
+        q.push(SimTime::from_ns(60), 99);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(SimTime::MAX, &mut out), 5);
+        assert_eq!(out, (0..5).map(|i| (t, i)).collect::<Vec<_>>());
+        assert_eq!(q.len(), 1);
+        out.clear();
+        assert_eq!(q.pop_batch(SimTime::from_ns(55), &mut out), 0);
+        assert_eq!(q.pop_batch(SimTime::from_ns(60), &mut out), 1);
+    }
+
+    #[test]
+    fn pop_batch_skips_cancelled_members() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        let keys: Vec<_> = (0..6).map(|i| q.push(t, i)).collect();
+        q.cancel(keys[1]);
+        q.cancel(keys[4]);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(SimTime::MAX, &mut out), 4);
+        let vals: Vec<i32> = out.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn repeated_cancel_repush_keeps_heap_bounded() {
+        // The RTO-reset pattern: every state change retracts the old timer
+        // deadline and arms a new one. Without tombstone purging the heap
+        // grows by one dead entry per reset.
+        let mut q = EventQueue::new();
+        let mut key = q.push(SimTime::from_ns(1), ());
+        for i in 2..10_000u64 {
+            assert!(q.cancel(key));
+            key = q.push(SimTime::from_ns(i), ());
+            assert_eq!(q.len(), 1);
+            assert!(
+                q.raw_len() <= 3,
+                "heap grew to {} entries at reset {i}",
+                q.raw_len()
+            );
+        }
+        assert_eq!(q.pop(), Some((SimTime::from_ns(9_999), ())));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn purge_preserves_order_of_survivors() {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = (0..100u64)
+            .map(|i| q.push(SimTime::from_ns(i), i))
+            .collect();
+        // Cancel every even entry; crossing the half-way mark forces purges.
+        for k in keys.iter().step_by(2) {
+            q.cancel(*k);
+        }
+        assert_eq!(q.len(), 50);
+        assert!(q.raw_len() <= 100);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (1..100).step_by(2).collect::<Vec<_>>());
     }
 
     #[test]

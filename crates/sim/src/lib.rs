@@ -28,7 +28,7 @@ pub mod stall;
 pub mod time;
 
 pub use dist::{Jitter, NoiseSpike};
-pub use engine::{CpuClock, EventQueue, ScheduledEvent};
+pub use engine::{CpuClock, EventKey, EventQueue, ScheduledEvent};
 pub use pool::WorkerPool;
 pub use rng::Pcg64;
 pub use stall::StallSchedule;
